@@ -1,0 +1,109 @@
+//! Criterion micro-benchmarks of the simulator's hot structures — these
+//! measure *simulator throughput* (not paper data): way-table updates, WDU
+//! lookups, cache-bank fills, input-buffer selection and a short
+//! end-to-end simulation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use malec_core::input_buffer::InputBuffer;
+use malec_core::waytable::WaySlots;
+use malec_core::wdu::Wdu;
+use malec_core::Simulator;
+use malec_mem::bank::CacheBank;
+use malec_trace::{all_benchmarks, WorkloadGenerator};
+use malec_types::addr::{LineAddr, VAddr, VPageId, WayId};
+use malec_types::op::{MemOp, OpId};
+use malec_types::SimConfig;
+
+fn bench_way_slots(c: &mut Criterion) {
+    c.bench_function("way_slots_set_get", |b| {
+        let mut slots = WaySlots::new(64, 4, 4);
+        let mut i = 0u8;
+        b.iter(|| {
+            i = (i + 1) % 64;
+            slots.set(i, WayId(i % 4));
+            black_box(slots.get(i))
+        });
+    });
+}
+
+fn bench_wdu(c: &mut Criterion) {
+    c.bench_function("wdu16_lookup_record", |b| {
+        let mut wdu = Wdu::new(16);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 64;
+            let line = LineAddr::new(i);
+            if wdu.lookup(line).is_none() {
+                wdu.record(line, WayId((i % 4) as u8));
+            }
+            black_box(wdu.hits())
+        });
+    });
+}
+
+fn bench_cache_bank(c: &mut Criterion) {
+    c.bench_function("cache_bank_fill_lookup", |b| {
+        let mut bank = CacheBank::new(32, 4);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let set = (i % 32) as u32;
+            bank.fill(set, i % 512, None);
+            black_box(bank.lookup(set, i % 512))
+        });
+    });
+}
+
+fn bench_input_buffer(c: &mut Criterion) {
+    c.bench_function("input_buffer_select", |b| {
+        let mut ib = InputBuffer::new(7);
+        for k in 0..6u64 {
+            let addr = 0x1000 + (k % 3) * 0x1000 + k * 8;
+            ib.push_load(
+                MemOp::load(OpId(k), VAddr::new(addr), 4),
+                VPageId::new(addr >> 12),
+                k,
+            );
+        }
+        b.iter(|| black_box(ib.select()));
+    });
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    c.bench_function("workload_generation_1k", |b| {
+        let profile = all_benchmarks().remove(0);
+        b.iter(|| {
+            let n = WorkloadGenerator::new(&profile, 1)
+                .take(1000)
+                .filter(|i| i.is_mem())
+                .count();
+            black_box(n)
+        });
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end_5k_insts");
+    group.sample_size(10);
+    for cfg in [SimConfig::base1ldst(), SimConfig::malec()] {
+        let label = cfg.label();
+        group.bench_function(&label, |b| {
+            let profile = all_benchmarks().remove(0);
+            let sim = Simulator::new(cfg.clone());
+            b.iter(|| black_box(sim.run(&profile, 5_000, 1).core.cycles));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_way_slots,
+    bench_wdu,
+    bench_cache_bank,
+    bench_input_buffer,
+    bench_trace_generation,
+    bench_end_to_end
+);
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! **Sec. VI-D sensitivity analysis** — three checks the paper calls out:
+//!
+//! 1. the 3-of-4-way fill restriction causes "no measurable increase of the
+//!    L1 miss rate" (Sec. V);
+//! 2. way prediction degrades for streaming/low-locality workloads
+//!    (mcf, art) — their coverage and energy benefits collapse;
+//! 3. MALEC introduces load-latency variability by holding Input Buffer
+//!    elements (quantified as mean held cycles per load).
+
+use malec_core::report::TextTable;
+use malec_trace::all_benchmarks;
+use malec_types::SimConfig;
+
+fn main() {
+    let insts = malec_bench::insts_budget();
+
+    // --- 1. Fill restriction vs free fills: L1 miss rates.
+    println!("\n== Sensitivity 1: 3-of-4-way fill restriction vs free fills ==\n");
+    let mut t = TextTable::new(vec![
+        "benchmark".into(),
+        "miss rate restricted [%]".into(),
+        "miss rate free [%]".into(),
+        "delta [pp]".into(),
+    ]);
+    let mut max_delta: f64 = 0.0;
+    for profile in all_benchmarks() {
+        let restricted = malec_bench::run_one(&SimConfig::malec(), &profile, insts);
+        let mut free_cfg = SimConfig::malec();
+        free_cfg.restrict_fill_ways = false;
+        let free = malec_bench::run_one(&free_cfg, &profile, insts);
+        let delta = 100.0 * (restricted.l1_miss_rate - free.l1_miss_rate);
+        max_delta = max_delta.max(delta.abs());
+        t.row(vec![
+            profile.name.to_owned(),
+            format!("{:5.2}", 100.0 * restricted.l1_miss_rate),
+            format!("{:5.2}", 100.0 * free.l1_miss_rate),
+            format!("{delta:+5.2}"),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "max |delta| = {max_delta:.2} pp — the paper reports no measurable increase.\n"
+    );
+
+    // --- 2. Streaming workloads hurt way prediction.
+    println!("== Sensitivity 2: way prediction on streaming/low-locality workloads ==\n");
+    let mut s = TextTable::new(vec![
+        "benchmark".into(),
+        "coverage [%]".into(),
+        "L1 miss rate [%]".into(),
+        "MALEC dyn energy vs Base1 [%]".into(),
+    ]);
+    for name in ["mcf", "art", "gzip", "djpeg"] {
+        let profile = all_benchmarks()
+            .into_iter()
+            .find(|b| b.name == name)
+            .expect("known benchmark");
+        let m = malec_bench::run_one(&SimConfig::malec(), &profile, insts);
+        let b = malec_bench::run_one(&SimConfig::base1ldst(), &profile, insts);
+        s.row(vec![
+            name.to_owned(),
+            format!("{:5.1}", 100.0 * m.interface.coverage()),
+            format!("{:5.1}", 100.0 * m.l1_miss_rate),
+            format!("{:6.1}", 100.0 * m.energy.dynamic / b.energy.dynamic),
+        ]);
+    }
+    println!("{}", s.render());
+
+    // --- 3. Latency variability from holding Input Buffer entries.
+    println!("== Sensitivity 3: load-latency variability (held Input Buffer cycles) ==\n");
+    let mut h = TextTable::new(vec![
+        "benchmark".into(),
+        "held load-cycles per serviced load".into(),
+    ]);
+    for name in ["gzip", "mcf", "swim", "djpeg"] {
+        let profile = all_benchmarks()
+            .into_iter()
+            .find(|b| b.name == name)
+            .expect("known benchmark");
+        let m = malec_bench::run_one(&SimConfig::malec(), &profile, insts);
+        let per_load =
+            m.interface.held_load_cycles as f64 / m.interface.loads_serviced.max(1) as f64;
+        h.row(vec![name.to_owned(), format!("{per_load:5.2}")]);
+    }
+    println!("{}", h.render());
+    println!(
+        "Paper reference: latency variability exists but most latency is masked\n\
+         behind address translation; exception handling only covers IB/AU/SB."
+    );
+
+    // --- 4. Scalability: the Fig. 2a wide parameterization (4 ld + 2 st).
+    println!("\n== Sensitivity 4: wide MALEC (4 ld + 2 st AGUs, Fig. 2a) ==\n");
+    let mut w = TextTable::new(vec![
+        "benchmark".into(),
+        "MALEC (1ld+2ldst) [%]".into(),
+        "MALEC wide (4ld+2st) [%]".into(),
+    ]);
+    for name in ["gzip", "gap", "swim", "djpeg", "mpeg2dec"] {
+        let profile = all_benchmarks()
+            .into_iter()
+            .find(|b| b.name == name)
+            .expect("known benchmark");
+        let base = malec_bench::run_one(&SimConfig::base1ldst(), &profile, insts);
+        let narrow = malec_bench::run_one(&SimConfig::malec(), &profile, insts);
+        let wide = malec_bench::run_one(&SimConfig::malec_wide(), &profile, insts);
+        w.row(vec![
+            name.to_owned(),
+            format!("{:5.1}", 100.0 * narrow.core.cycles as f64 / base.core.cycles as f64),
+            format!("{:5.1}", 100.0 * wide.core.cycles as f64 / base.core.cycles as f64),
+        ]);
+    }
+    println!("{}", w.render());
+    println!(
+        "MALEC scales by widening address computation, not by adding ports:\n\
+         the uTLB/TLB and cache banks stay single-ported in both columns."
+    );
+}

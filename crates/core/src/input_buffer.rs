@@ -1,0 +1,257 @@
+//! The Input Buffer: MALEC's page-grouping front end (Sec. IV).
+//!
+//! Loads finishing address computation and evicted merge-buffer entries
+//! enter the Input Buffer. Each cycle the highest-priority entry's virtual
+//! page id goes to the uTLB, and is simultaneously compared against every
+//! other valid entry; matching entries form the group handed to the
+//! Arbitration Unit. Priority, high to low: loads held from previous cycles,
+//! loads that just arrived (program order), then the MBE (not time critical
+//! — its stores already committed).
+
+use malec_types::addr::VPageId;
+use malec_types::op::{MemOp, OpId};
+
+/// One Input Buffer element.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct IbEntry {
+    /// The memory operation (load, or merge-buffer eviction write).
+    pub op: MemOp,
+    /// Its virtual page id (the 20-bit comparator operand).
+    pub vpage: VPageId,
+    /// Cycle the entry arrived (age ⇒ priority).
+    pub arrived: u64,
+}
+
+/// The group selected for one cycle.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct GroupSelection {
+    /// The page every member shares.
+    pub vpage: VPageId,
+    /// Member loads in priority order (leader first).
+    pub loads: Vec<MemOp>,
+    /// Whether the pending MBE belongs to the group.
+    pub include_mbe: bool,
+    /// vPageID comparisons performed (energy: one 20-bit compare per other
+    /// valid entry).
+    pub compares: u32,
+}
+
+/// The Input Buffer.
+///
+/// # Example
+///
+/// ```
+/// use malec_core::input_buffer::InputBuffer;
+/// use malec_types::addr::{VAddr, VPageId};
+/// use malec_types::op::{MemOp, OpId};
+///
+/// let mut ib = InputBuffer::new(7);
+/// ib.push_load(MemOp::load(OpId(0), VAddr::new(0x1000), 4), VPageId::new(1), 0);
+/// ib.push_load(MemOp::load(OpId(1), VAddr::new(0x1040), 4), VPageId::new(1), 0);
+/// ib.push_load(MemOp::load(OpId(2), VAddr::new(0x2000), 4), VPageId::new(2), 0);
+/// let group = ib.select().expect("entries present");
+/// assert_eq!(group.vpage, VPageId::new(1));
+/// assert_eq!(group.loads.len(), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct InputBuffer {
+    loads: Vec<IbEntry>,
+    mbe: Option<IbEntry>,
+    load_cap: usize,
+}
+
+impl InputBuffer {
+    /// Creates a buffer holding at most `load_cap` loads (held + fresh) plus
+    /// one MBE. The paper's configuration: 3 held + 4 fresh = 7.
+    pub fn new(load_cap: usize) -> Self {
+        Self {
+            loads: Vec::with_capacity(load_cap),
+            mbe: None,
+            load_cap,
+        }
+    }
+
+    /// Whether another load can be accepted this cycle (AGUs stall
+    /// otherwise).
+    pub fn can_accept_load(&self) -> bool {
+        self.loads.len() < self.load_cap
+    }
+
+    /// Inserts a load; returns false (and drops nothing) when full.
+    pub fn push_load(&mut self, op: MemOp, vpage: VPageId, cycle: u64) -> bool {
+        if !self.can_accept_load() {
+            return false;
+        }
+        self.loads.push(IbEntry {
+            op,
+            vpage,
+            arrived: cycle,
+        });
+        true
+    }
+
+    /// Installs the pending merge-buffer eviction; returns false if one is
+    /// already waiting (the MB stalls its eviction).
+    pub fn set_mbe(&mut self, op: MemOp, vpage: VPageId, cycle: u64) -> bool {
+        if self.mbe.is_some() {
+            return false;
+        }
+        self.mbe = Some(IbEntry {
+            op,
+            vpage,
+            arrived: cycle,
+        });
+        true
+    }
+
+    /// Whether an MBE is waiting.
+    pub fn has_mbe(&self) -> bool {
+        self.mbe.is_some()
+    }
+
+    /// Loads currently buffered.
+    pub fn len(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// Whether the buffer holds nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.loads.is_empty() && self.mbe.is_none()
+    }
+
+    /// Selects this cycle's page group: the highest-priority entry leads,
+    /// all same-page entries join. Loads outrank the MBE; among loads, age
+    /// then program order.
+    pub fn select(&self) -> Option<GroupSelection> {
+        let leader = self
+            .loads
+            .iter()
+            .min_by_key(|e| (e.arrived, e.op.id))
+            .or(self.mbe.as_ref())?;
+        let vpage = leader.vpage;
+        let mut loads: Vec<&IbEntry> =
+            self.loads.iter().filter(|e| e.vpage == vpage).collect();
+        loads.sort_by_key(|e| (e.arrived, e.op.id));
+        let include_mbe = self.mbe.as_ref().is_some_and(|m| m.vpage == vpage);
+        // One comparator per other valid entry (the leader itself is free).
+        let valid = self.loads.len() + usize::from(self.mbe.is_some());
+        Some(GroupSelection {
+            vpage,
+            loads: loads.into_iter().map(|e| e.op).collect(),
+            include_mbe,
+            compares: valid.saturating_sub(1) as u32,
+        })
+    }
+
+    /// Removes a serviced load.
+    pub fn remove_load(&mut self, id: OpId) {
+        self.loads.retain(|e| e.op.id != id);
+    }
+
+    /// Removes and returns the serviced MBE.
+    pub fn take_mbe(&mut self) -> Option<MemOp> {
+        self.mbe.take().map(|e| e.op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use malec_types::addr::VAddr;
+
+    fn ld(id: u64, addr: u64) -> (MemOp, VPageId) {
+        let op = MemOp::load(OpId(id), VAddr::new(addr), 4);
+        (op, VPageId::new(addr >> 12))
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut ib = InputBuffer::new(2);
+        let (a, pa) = ld(0, 0x1000);
+        let (b, pb) = ld(1, 0x2000);
+        let (c, pc) = ld(2, 0x3000);
+        assert!(ib.push_load(a, pa, 0));
+        assert!(ib.push_load(b, pb, 0));
+        assert!(!ib.push_load(c, pc, 0), "full buffer rejects (AGU stall)");
+        assert_eq!(ib.len(), 2);
+    }
+
+    #[test]
+    fn oldest_load_leads_group() {
+        let mut ib = InputBuffer::new(7);
+        let (a, pa) = ld(5, 0x2000); // arrives cycle 1
+        let (b, pb) = ld(9, 0x1000); // arrives cycle 0 => older
+        ib.push_load(b, pb, 0);
+        ib.push_load(a, pa, 1);
+        let g = ib.select().expect("group");
+        assert_eq!(g.vpage, VPageId::new(1));
+        assert_eq!(g.loads[0].id, OpId(9));
+    }
+
+    #[test]
+    fn same_cycle_ties_break_by_program_order() {
+        let mut ib = InputBuffer::new(7);
+        let (a, pa) = ld(7, 0x1000);
+        let (b, pb) = ld(3, 0x2000);
+        ib.push_load(a, pa, 0);
+        ib.push_load(b, pb, 0);
+        let g = ib.select().expect("group");
+        assert_eq!(g.loads[0].id, OpId(3), "lower id = older in program order");
+        assert_eq!(g.vpage, VPageId::new(2));
+    }
+
+    #[test]
+    fn group_collects_same_page_and_counts_compares() {
+        let mut ib = InputBuffer::new(7);
+        for (i, addr) in [0x1000u64, 0x1040, 0x2000, 0x1080].iter().enumerate() {
+            let (op, vp) = ld(i as u64, *addr);
+            ib.push_load(op, vp, 0);
+        }
+        let g = ib.select().expect("group");
+        assert_eq!(g.loads.len(), 3);
+        assert_eq!(g.compares, 3, "three other valid entries compared");
+        assert!(!g.include_mbe);
+    }
+
+    #[test]
+    fn mbe_only_selected_when_no_loads_or_same_page() {
+        let mut ib = InputBuffer::new(7);
+        let mbe = MemOp::merge_evict(OpId(100), VAddr::new(0x5000), 16);
+        assert!(ib.set_mbe(mbe, VPageId::new(5), 0));
+        assert!(!ib.set_mbe(mbe, VPageId::new(5), 0), "one MBE slot");
+
+        // Alone: the MBE leads.
+        let g = ib.select().expect("group");
+        assert!(g.include_mbe);
+        assert!(g.loads.is_empty());
+
+        // With a load on another page: the load leads, MBE excluded.
+        let (a, pa) = ld(0, 0x1000);
+        ib.push_load(a, pa, 1);
+        let g = ib.select().expect("group");
+        assert_eq!(g.vpage, VPageId::new(1));
+        assert!(!g.include_mbe);
+
+        // With a load on the MBE's page: both serviced together.
+        let (b, pb) = ld(1, 0x5040);
+        ib.push_load(b, pb, 1);
+        ib.remove_load(OpId(0));
+        let g = ib.select().expect("group");
+        assert_eq!(g.vpage, VPageId::new(5));
+        assert!(g.include_mbe);
+    }
+
+    #[test]
+    fn remove_and_take() {
+        let mut ib = InputBuffer::new(7);
+        let (a, pa) = ld(0, 0x1000);
+        ib.push_load(a, pa, 0);
+        let mbe = MemOp::merge_evict(OpId(50), VAddr::new(0x1000), 16);
+        ib.set_mbe(mbe, pa, 0);
+        ib.remove_load(OpId(0));
+        assert_eq!(ib.len(), 0);
+        assert_eq!(ib.take_mbe().map(|m| m.id), Some(OpId(50)));
+        assert!(ib.is_empty());
+        assert!(ib.select().is_none());
+    }
+}

@@ -1,0 +1,878 @@
+//! The MALEC interface: Page-Based Memory Access Grouping (Sec. IV) plus
+//! Page-Based Way Determination (Sec. V).
+//!
+//! Per cycle:
+//!
+//! 1. the [`InputBuffer`] selects the highest-priority entry; its vPageID
+//!    goes to the uTLB (one translation per cycle — the single-port
+//!    restriction that saves the energy) and is compared against all other
+//!    valid entries to form the page group;
+//! 2. the arbitration logic picks at most one access per cache bank, merges
+//!    loads to the same line (evaluating only the three entries consecutive
+//!    to each bank leader, with narrow in-page comparators), and caps
+//!    selected loads at the number of result buses;
+//! 3. way information for the selected lines comes from the uWT entry that
+//!    arrived with the uTLB hit: *valid* way info means the access bypasses
+//!    all tag arrays and touches a single data way ("reduced access");
+//! 4. unserviced entries stay in the Input Buffer for later cycles; the
+//!    merge-buffer eviction (lowest priority) writes its bank when free.
+//!
+//! Way-table maintenance follows Sec. V exactly: validity set/cleared on
+//! line fills/evictions via reverse (physical) uTLB/TLB lookups, uWT→WT
+//! full-entry synchronization on uTLB eviction, WT entry invalidation on TLB
+//! eviction, and the last-entry feedback register that updates the uWT when
+//! a conventional access hits a line the tables called unknown (this is the
+//! mechanism that lifts coverage from ~75 % to ~94 %, Sec. VI-C).
+
+use malec_cpu::interface::{AcceptKind, L1DataInterface};
+use malec_energy::EnergyCounters;
+use malec_mem::hierarchy::MemoryHierarchy;
+use malec_mem::l1::L1FillEvent;
+use malec_types::addr::{LineAddr, PPageId, VPageId, WayId};
+use malec_types::config::{InterfaceKind, SimConfig, WayDetermination};
+use malec_types::op::{MemOp, OpId};
+use malec_types::params::MERGE_COMPARE_WINDOW;
+
+use crate::input_buffer::InputBuffer;
+use crate::metrics::InterfaceStats;
+use crate::mmu::{Mmu, Translation, TranslationPath};
+use crate::sbmb::{MergeBuffer, StoreBuffer};
+use crate::waytable::{MicroWayTable, WayTable};
+use crate::wdu::Wdu;
+
+/// The MALEC L1 data interface.
+///
+/// # Example
+///
+/// ```
+/// use malec_core::malec::MalecInterface;
+/// use malec_types::SimConfig;
+///
+/// let iface = MalecInterface::new(&SimConfig::malec(), 1);
+/// assert_eq!(iface.stats().groups, 0);
+/// ```
+#[derive(Debug)]
+pub struct MalecInterface {
+    config: SimConfig,
+    mmu: Mmu,
+    hierarchy: MemoryHierarchy,
+    sb: StoreBuffer,
+    mb: MergeBuffer,
+    ib: InputBuffer,
+    uwt: Option<MicroWayTable>,
+    wt: Option<WayTable>,
+    wdu: Option<Wdu>,
+    feedback: bool,
+    counters: EnergyCounters,
+    stats: InterfaceStats,
+    completions: Vec<(u64, OpId)>,
+    pending_mbe: std::collections::VecDeque<MemOp>,
+    pending_fills: std::collections::HashMap<u64, u64>,
+    last_translation: Option<(VPageId, PPageId)>,
+    cycle: u64,
+}
+
+impl MalecInterface {
+    /// Builds the MALEC interface for `config` (must be
+    /// [`InterfaceKind::Malec`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called with a baseline interface kind.
+    pub fn new(config: &SimConfig, seed: u64) -> Self {
+        assert!(
+            matches!(config.interface, InterfaceKind::Malec),
+            "use BaselineInterface for the baseline configurations"
+        );
+        let lines = config.page.lines_per_page();
+        let banks = config.l1.banks();
+        let ways = config.l1.ways();
+        let (uwt, wt, wdu, feedback) = match config.way_determination {
+            WayDetermination::WayTables => (
+                Some(MicroWayTable::new(usize::from(config.utlb_entries), lines, banks, ways)),
+                Some(WayTable::new(usize::from(config.tlb_entries), lines, banks, ways)),
+                None,
+                true,
+            ),
+            WayDetermination::WayTablesNoFeedback => (
+                Some(MicroWayTable::new(usize::from(config.utlb_entries), lines, banks, ways)),
+                Some(WayTable::new(usize::from(config.tlb_entries), lines, banks, ways)),
+                None,
+                false,
+            ),
+            WayDetermination::Wdu(n) => (None, None, Some(Wdu::new(usize::from(n.max(1)))), true),
+            WayDetermination::None => (None, None, None, false),
+        };
+        Self {
+            config: config.clone(),
+            mmu: Mmu::new(
+                usize::from(config.utlb_entries),
+                usize::from(config.tlb_entries),
+                seed,
+            ),
+            hierarchy: MemoryHierarchy::for_config(config),
+            sb: StoreBuffer::new(usize::from(config.sb_entries)),
+            mb: MergeBuffer::new(
+                usize::from(config.mb_entries),
+                config.page.line_offset_bits(),
+            ),
+            ib: InputBuffer::new(usize::from(config.input_buffer_held) + 4),
+            uwt,
+            wt,
+            wdu,
+            feedback,
+            counters: EnergyCounters::default(),
+            stats: InterfaceStats::default(),
+            completions: Vec::new(),
+            pending_mbe: std::collections::VecDeque::new(),
+            pending_fills: std::collections::HashMap::new(),
+            last_translation: None,
+            cycle: 0,
+        }
+    }
+
+    /// Accumulated energy event counters.
+    pub fn counters(&self) -> &EnergyCounters {
+        &self.counters
+    }
+
+    /// Interface statistics (groups, merges, coverage).
+    pub fn stats(&self) -> &InterfaceStats {
+        &self.stats
+    }
+
+    /// The memory hierarchy (for miss-rate reporting).
+    pub fn hierarchy(&self) -> &MemoryHierarchy {
+        &self.hierarchy
+    }
+
+    /// The MMU (for TLB statistics).
+    pub fn mmu(&self) -> &Mmu {
+        &self.mmu
+    }
+
+    /// The WDU coverage, when the WDU substitutes the way tables.
+    pub fn wdu_coverage(&self) -> Option<f64> {
+        self.wdu.as_ref().map(Wdu::coverage)
+    }
+
+    fn vpage_of(&self, op: &MemOp) -> VPageId {
+        self.config.page.vpage_of(op.vaddr)
+    }
+
+    /// Physical line for an op given its page translation.
+    fn line_of(&self, op: &MemOp, ppage: PPageId) -> LineAddr {
+        let page = self.config.page;
+        let offset = op.vaddr.raw() & (page.page_bytes() - 1);
+        page.line_of((ppage.raw() << page.page_offset_bits()) | offset)
+    }
+
+    /// Translates with energy accounting and way-table synchronization.
+    fn translate_counted(&mut self, vpage: VPageId) -> Translation {
+        self.counters.utlb_lookups += 1;
+        self.stats.translations += 1;
+        let t = self.mmu.translate(vpage);
+        match t.path {
+            TranslationPath::MicroHit => {}
+            TranslationPath::TlbHit => {
+                self.counters.tlb_lookups += 1;
+                self.counters.utlb_fills += 1;
+            }
+            TranslationPath::Walk => {
+                self.counters.tlb_lookups += 1;
+                self.counters.tlb_fills += 1;
+                self.counters.utlb_fills += 1;
+            }
+        }
+
+        if let (Some(uwt), Some(wt)) = (self.uwt.as_mut(), self.wt.as_mut()) {
+            // uWT eviction: write the full entry back to the WT, if the
+            // evicted page still has a TLB (and therefore WT) slot.
+            if let Some((uslot, evicted)) = t.utlb_evicted {
+                if let Some(tslot) = self.mmu.tlb_slot_of_ppage(evicted.ppage) {
+                    wt.entry_mut(tslot).copy_from(uwt.entry(uslot));
+                    self.counters.wt_writes += 1;
+                }
+            }
+            match t.path {
+                TranslationPath::MicroHit => {}
+                TranslationPath::TlbHit => {
+                    // The WT entry travels with the TLB hit; install it as
+                    // the page's uWT entry.
+                    let entry = wt.entry(t.tlb_slot).clone();
+                    uwt.entry_mut(t.utlb_slot).copy_from(&entry);
+                    self.counters.wt_reads += 1;
+                    self.counters.uwt_writes += 1;
+                }
+                TranslationPath::Walk => {
+                    // Fresh page: all way information invalidated (Sec. V —
+                    // if a TLB-evicted page is re-accessed, a new WT entry
+                    // is allocated with everything unknown). Invalidation is
+                    // a flash-clear, priced as a slot update rather than a
+                    // full-entry write.
+                    wt.entry_mut(t.tlb_slot).clear_all();
+                    self.counters.wt_bit_updates += 1;
+                    uwt.entry_mut(t.utlb_slot).clear_all();
+                    self.counters.uwt_bit_updates += 1;
+                }
+            }
+        }
+
+        self.last_translation = Some((vpage, t.ppage));
+        t
+    }
+
+    /// Applies a fill/eviction event to the way-determination state
+    /// (validity bits set on fills, cleared on evictions; physical-tag
+    /// reverse lookups find the owning uWT/WT entry).
+    fn on_fill_event(&mut self, ev: L1FillEvent) {
+        self.counters
+            .l1_line_fill(self.config.l1.sub_blocks_per_line());
+        match self.config.way_determination {
+            WayDetermination::None => {}
+            WayDetermination::Wdu(_) => {
+                let wdu = self.wdu.as_mut().expect("WDU configured");
+                if let Some(evicted) = ev.evicted {
+                    wdu.invalidate(evicted);
+                    self.counters.wdu_writes += 1;
+                }
+                wdu.record(ev.filled, ev.way);
+                self.counters.wdu_writes += 1;
+            }
+            WayDetermination::WayTables | WayDetermination::WayTablesNoFeedback => {
+                if let Some(evicted) = ev.evicted {
+                    self.update_way_slot(evicted, None);
+                }
+                self.update_way_slot(ev.filled, Some(ev.way));
+            }
+        }
+    }
+
+    /// Sets (`Some(way)`) or clears (`None`) the way slot for a physical
+    /// line, searching the uWT first, then the WT (Sec. V: "although the WT
+    /// includes all uWT entries, it is only updated if no corresponding uWT
+    /// entry was found").
+    fn update_way_slot(&mut self, line: LineAddr, way: Option<WayId>) {
+        let lines_per_page = u64::from(self.config.page.lines_per_page());
+        let ppage = PPageId::new(line.raw() / lines_per_page);
+        let line_in_page = (line.raw() % lines_per_page) as u8;
+
+        self.counters.utlb_reverse_lookups += 1;
+        if let Some(uslot) = self.mmu.utlb_slot_of_ppage(ppage) {
+            let entry = self.uwt.as_mut().expect("uWT configured").entry_mut(uslot);
+            match way {
+                Some(w) => {
+                    entry.set(line_in_page, w);
+                }
+                None => entry.clear(line_in_page),
+            }
+            self.counters.uwt_bit_updates += 1;
+            return;
+        }
+        self.counters.tlb_reverse_lookups += 1;
+        if let Some(tslot) = self.mmu.tlb_slot_of_ppage(ppage) {
+            let entry = self.wt.as_mut().expect("WT configured").entry_mut(tslot);
+            match way {
+                Some(w) => {
+                    entry.set(line_in_page, w);
+                }
+                None => entry.clear(line_in_page),
+            }
+            self.counters.wt_bit_updates += 1;
+        }
+    }
+
+    /// Way prediction for a line about to be accessed. Returns `Some(way)`
+    /// when the access may bypass the tag arrays.
+    fn predict_way(&mut self, utlb_slot: usize, line: LineAddr) -> Option<WayId> {
+        let lines_per_page = u64::from(self.config.page.lines_per_page());
+        let line_in_page = (line.raw() % lines_per_page) as u8;
+        match self.config.way_determination {
+            WayDetermination::None => None,
+            WayDetermination::Wdu(_) => {
+                self.counters.wdu_lookups += 1;
+                self.wdu.as_mut().expect("WDU configured").lookup(line)
+            }
+            WayDetermination::WayTables | WayDetermination::WayTablesNoFeedback => {
+                self.uwt.as_ref().expect("uWT configured").entry(utlb_slot).get(line_in_page)
+            }
+        }
+    }
+
+    /// Feedback path: a conventional access hit a line the predictor called
+    /// unknown. The last-entry register lets the uWT update without another
+    /// uTLB lookup.
+    fn feedback_update(&mut self, utlb_slot: usize, line: LineAddr, way: WayId) {
+        match self.config.way_determination {
+            WayDetermination::Wdu(_) => {
+                self.wdu.as_mut().expect("WDU configured").record(line, way);
+                self.counters.wdu_writes += 1;
+            }
+            WayDetermination::WayTables if self.feedback => {
+                let lines_per_page = u64::from(self.config.page.lines_per_page());
+                let line_in_page = (line.raw() % lines_per_page) as u8;
+                self.uwt
+                    .as_mut()
+                    .expect("uWT configured")
+                    .entry_mut(utlb_slot)
+                    .set(line_in_page, way);
+                self.counters.uwt_bit_updates += 1;
+            }
+            _ => {}
+        }
+    }
+
+    /// The fill-steering restriction: when enabled, fills avoid the way the
+    /// line's WT slot cannot encode.
+    fn fill_exclusion(&self, line: LineAddr) -> Option<WayId> {
+        if !self.config.restrict_fill_ways
+            || !matches!(
+                self.config.way_determination,
+                WayDetermination::WayTables | WayDetermination::WayTablesNoFeedback
+            )
+        {
+            return None;
+        }
+        let lines_per_page = u64::from(self.config.page.lines_per_page());
+        let line_in_page = (line.raw() % lines_per_page) as u8;
+        let banks = self.config.l1.banks();
+        let ways = self.config.l1.ways();
+        Some(WayId(
+            ((u32::from(line_in_page) / banks) % ways) as u8,
+        ))
+    }
+
+    /// Services this cycle's page group. Returns how many loads were
+    /// serviced.
+    fn service_group(&mut self) -> usize {
+        let Some(group) = self.ib.select() else {
+            return 0;
+        };
+        self.counters.input_buffer_compares += u64::from(group.compares);
+
+        // One translation per cycle, shared by the whole group. Slow paths
+        // (TLB hit after uTLB miss, page-table walk) add latency to every
+        // member's completion but do not block later groups — the walker is
+        // a separate engine, exactly as in the baselines' model.
+        let t = self.translate_counted(group.vpage);
+        let group_extra = u64::from(t.path.extra_latency());
+
+        // uWT way information arrives with the translation: one entry
+        // evaluation regardless of group size (Sec. V scalability).
+        if self.uwt.is_some() {
+            self.counters.uwt_reads += 1;
+        }
+
+        // --- Arbitration: per-bank leaders, same-line merging, result-bus cap.
+        let banks = self.config.l1.banks() as usize;
+        let window_bytes = 2 * self.config.l1.sub_block_bytes();
+        let infos: Vec<(MemOp, LineAddr, usize, u64)> = group
+            .loads
+            .iter()
+            .map(|op| {
+                let line = self.line_of(op, t.ppage);
+                let bank = self.config.l1.bank_of_line(line).0 as usize;
+                let window = (op.vaddr.raw() & (self.config.page.line_bytes() - 1)) / window_bytes;
+                (*op, line, bank, window)
+            })
+            .collect();
+
+        let mut bank_leader: Vec<Option<usize>> = vec![None; banks];
+        // (member index, leader index) — leader merges with itself.
+        let mut selected: Vec<(usize, usize)> = Vec::with_capacity(4);
+        for (i, info) in infos.iter().enumerate() {
+            if selected.len() >= usize::from(self.config.result_buses) {
+                break;
+            }
+            match bank_leader[info.2] {
+                None => {
+                    bank_leader[info.2] = Some(i);
+                    selected.push((i, i));
+                }
+                Some(li) => {
+                    if self.config.load_merging && i - li <= usize::from(MERGE_COMPARE_WINDOW) {
+                        self.counters.arbitration_compares += 1;
+                        let leader = &infos[li];
+                        if leader.1 == info.1 && leader.3 == info.3 {
+                            selected.push((i, li));
+                        }
+                    }
+                }
+            }
+        }
+
+        // --- Execute one L1 access per bank leader.
+        let mut serviced = 0usize;
+        let mut leader_done: std::collections::HashMap<usize, u64> =
+            std::collections::HashMap::new();
+        for &(i, li) in &selected {
+            let (op, line, _bank, _window) = infos[i];
+            let done = if i == li {
+                let done = self.execute_load_access(t.utlb_slot, line, group_extra);
+                leader_done.insert(li, done);
+                done
+            } else {
+                self.stats.merged_loads += 1;
+                // The WDU (unlike the way tables) looks up every parallel
+                // reference individually — that is why it needs four ports.
+                if self.wdu.is_some() {
+                    self.counters.wdu_lookups += 1;
+                }
+                leader_done[&li]
+            };
+            // Narrow SB/MB comparators per access; the page segment is
+            // shared below.
+            self.counters.sb_lookups_narrow += 1;
+            self.counters.mb_lookups_narrow += 1;
+            self.completions.push((done, op.id));
+            self.ib.remove_load(op.id);
+            self.stats.loads_serviced += 1;
+            self.stats.group_loads += 1;
+            serviced += 1;
+        }
+        if serviced > 0 {
+            self.stats.groups += 1;
+            self.counters.sb_lookups_page_segment += 1;
+            self.counters.mb_lookups_page_segment += 1;
+        }
+
+        // --- The MBE (lowest priority) writes its bank if no load claimed it.
+        if group.include_mbe {
+            if let Some(mbe) = self.ib.take_mbe() {
+                let line = self.line_of(&mbe, t.ppage);
+                let bank = self.config.l1.bank_of_line(line).0 as usize;
+                if bank_leader[bank].is_none() {
+                    self.execute_mbe_write(t.utlb_slot, line);
+                } else {
+                    // Bank busy: put it back for a later cycle.
+                    let vp = self.vpage_of(&mbe);
+                    self.ib.set_mbe(mbe, vp, self.cycle);
+                }
+            }
+        }
+        serviced
+    }
+
+    /// Performs the actual cache access for a bank leader; returns the
+    /// completion cycle.
+    fn execute_load_access(&mut self, utlb_slot: usize, line: LineAddr, group_extra: u64) -> u64 {
+        // MALEC's sub-blocked data arrays return two adjacent sub-blocks on
+        // every read (Sec. IV), doubling merge opportunities.
+        let sub_blocks = 2u32;
+        let predicted = self.predict_way(utlb_slot, line);
+        let exclusion = self.fill_exclusion(line);
+        let outcome = self.hierarchy.resolve_line(line, exclusion);
+
+        match (outcome.l1_hit, predicted) {
+            (true, Some(way)) => {
+                debug_assert_eq!(way, outcome.way, "way tables must track true residency");
+                self.counters.l1_reduced_read(sub_blocks);
+                self.stats.reduced_accesses += 1;
+            }
+            (true, None) => {
+                self.counters
+                    .l1_conventional_read(self.config.l1.ways(), sub_blocks);
+                self.stats.conventional_accesses += 1;
+                self.feedback_update(utlb_slot, line, outcome.way);
+            }
+            (false, _) => {
+                // The discovering access is conventional; the fill installs
+                // way information via the validity maintenance, so the
+                // replay that returns the data after the fill is a
+                // *reduced* access — way prediction removes the redundant
+                // tag lookup even on the miss path.
+                self.counters
+                    .l1_conventional_read(self.config.l1.ways(), sub_blocks);
+                self.stats.conventional_accesses += 1;
+                if let Some(fill) = outcome.fill {
+                    self.on_fill_event(fill);
+                }
+                if self.uwt.is_some() || self.wdu.is_some() {
+                    self.counters.l1_reduced_read(sub_blocks);
+                    self.stats.reduced_accesses += 1;
+                } else {
+                    self.counters
+                        .l1_conventional_read(self.config.l1.ways(), sub_blocks);
+                    self.stats.conventional_accesses += 1;
+                }
+            }
+        }
+        let mut done = self.cycle
+            + u64::from(self.config.l1_latency())
+            + group_extra
+            + u64::from(outcome.extra_latency);
+        // MSHR semantics: an access to a line with an outstanding fill
+        // completes no earlier than that fill.
+        if outcome.l1_hit {
+            if let Some(&ready) = self.pending_fills.get(&line.raw()) {
+                if ready > self.cycle {
+                    done = done.max(ready);
+                } else {
+                    self.pending_fills.remove(&line.raw());
+                }
+            }
+        } else {
+            self.pending_fills.insert(line.raw(), done);
+        }
+        done
+    }
+
+    /// Writes a merge-buffer eviction to the L1.
+    fn execute_mbe_write(&mut self, utlb_slot: usize, line: LineAddr) {
+        let predicted = self.predict_way(utlb_slot, line);
+        let exclusion = self.fill_exclusion(line);
+        let outcome = self.hierarchy.resolve_line(line, exclusion);
+        match (outcome.l1_hit, predicted) {
+            (true, Some(way)) => {
+                debug_assert_eq!(way, outcome.way);
+                self.counters.l1_reduced_write(2);
+                self.stats.reduced_accesses += 1;
+            }
+            (true, None) => {
+                self.counters.l1_write(2);
+                self.stats.conventional_accesses += 1;
+                self.feedback_update(utlb_slot, line, outcome.way);
+            }
+            (false, _) => {
+                self.counters.l1_write(2);
+                self.stats.conventional_accesses += 1;
+                if let Some(fill) = outcome.fill {
+                    self.on_fill_event(fill);
+                }
+            }
+        }
+        self.stats.mbe_writes += 1;
+    }
+
+    /// Moves committed stores toward the merge buffer and stages MB
+    /// evictions for the Input Buffer.
+    fn drain_stores(&mut self) {
+        // Stage at most one MBE into the Input Buffer per cycle.
+        if !self.ib.has_mbe() {
+            if let Some(mbe) = self.pending_mbe.pop_front() {
+                let vp = self.vpage_of(&mbe);
+                self.ib.set_mbe(mbe, vp, self.cycle);
+            }
+        }
+        // Keep the staging queue bounded: stall the drain if it backs up.
+        if self.pending_mbe.len() >= 2 {
+            return;
+        }
+        if let Some(op) = self.sb.pop_committed() {
+            if let Some(evicted) = self.mb.insert(op) {
+                self.pending_mbe
+                    .push_back(MemOp::merge_evict(evicted.rep.id, evicted.rep.vaddr, 16));
+            }
+        }
+    }
+}
+
+impl L1DataInterface for MalecInterface {
+    fn tick(&mut self, cycle: u64, completed: &mut Vec<OpId>) {
+        self.cycle = cycle;
+
+        // 1. Deliver due completions.
+        self.completions.retain(|&(due, id)| {
+            if due <= cycle {
+                completed.push(id);
+                false
+            } else {
+                true
+            }
+        });
+
+        // 2. Service this cycle's page group.
+        self.service_group();
+
+        // 3. Store pipeline.
+        self.drain_stores();
+
+        // 4. Latency-variability accounting.
+        self.stats.held_load_cycles += self.ib.len() as u64;
+    }
+
+    fn offer_load(&mut self, op: MemOp) -> AcceptKind {
+        if !self.ib.can_accept_load() {
+            return AcceptKind::Rejected;
+        }
+        let vp = self.vpage_of(&op);
+        let pushed = self.ib.push_load(op, vp, self.cycle);
+        debug_assert!(pushed);
+        AcceptKind::Accepted
+    }
+
+    fn offer_store(&mut self, op: MemOp) -> AcceptKind {
+        if !self.sb.has_room() {
+            return AcceptKind::Rejected;
+        }
+        let vp = self.vpage_of(&op);
+        // Share the translation result when the store hits the page that
+        // was just translated (Sec. IV: translation results are shared
+        // between loads and stores).
+        match self.last_translation {
+            Some((last_vp, _)) if last_vp == vp => {
+                self.stats.store_translations_shared += 1;
+            }
+            _ => {
+                self.translate_counted(vp);
+            }
+        }
+        let pushed = self.sb.push(op);
+        debug_assert!(pushed);
+        self.stats.stores_accepted += 1;
+        AcceptKind::Accepted
+    }
+
+    fn commit_store(&mut self, id: OpId) {
+        self.sb.mark_committed(id);
+    }
+
+    fn pending_loads(&self) -> usize {
+        self.ib.len() + self.completions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use malec_types::addr::VAddr;
+
+    fn iface() -> MalecInterface {
+        MalecInterface::new(&SimConfig::malec(), 1)
+    }
+
+    fn ld(id: u64, addr: u64) -> MemOp {
+        MemOp::load(OpId(id), VAddr::new(addr), 4)
+    }
+
+    fn run_until_done(i: &mut MalecInterface, from: u64, ids: usize) -> Vec<(u64, OpId)> {
+        let mut done = Vec::new();
+        let mut c = from;
+        while done.len() < ids && c < from + 10_000 {
+            let mut out = Vec::new();
+            i.tick(c, &mut out);
+            for id in out {
+                done.push((c, id));
+            }
+            c += 1;
+        }
+        done
+    }
+
+    #[test]
+    fn same_page_loads_service_in_one_group() {
+        let mut i = iface();
+        i.tick(0, &mut Vec::new());
+        // Four same-page loads to four different lines (= four banks).
+        for k in 0..4u64 {
+            assert!(i.offer_load(ld(k, 0x1000 + k * 64)).is_accepted());
+        }
+        let done = run_until_done(&mut i, 1, 4);
+        assert_eq!(done.len(), 4);
+        assert!(i.stats().groups >= 1);
+        // One translation serves all four loads.
+        assert_eq!(i.counters().utlb_lookups, 1);
+        assert_eq!(i.stats().group_loads, 4);
+    }
+
+    #[test]
+    fn different_pages_need_multiple_cycles() {
+        let mut i = iface();
+        i.tick(0, &mut Vec::new());
+        for k in 0..3u64 {
+            assert!(i.offer_load(ld(k, 0x1000 + k * 0x1000)).is_accepted());
+        }
+        run_until_done(&mut i, 1, 3);
+        assert!(
+            i.stats().groups >= 3,
+            "three pages cannot share a group: {} groups",
+            i.stats().groups
+        );
+        assert_eq!(i.counters().utlb_lookups, 3);
+    }
+
+    #[test]
+    fn same_line_loads_merge() {
+        let mut i = iface();
+        i.tick(0, &mut Vec::new());
+        // Warm the line.
+        i.offer_load(ld(0, 0x1000));
+        run_until_done(&mut i, 1, 1);
+        let c0 = 500;
+        i.tick(c0, &mut Vec::new());
+        // Two loads to the same 32-byte window of one line.
+        i.offer_load(ld(10, 0x1000));
+        i.offer_load(ld(11, 0x1008));
+        let done = run_until_done(&mut i, c0 + 1, 2);
+        assert_eq!(done.len(), 2);
+        assert_eq!(i.stats().merged_loads, 1, "second load rides along");
+        // Both complete in the same cycle.
+        assert_eq!(done[0].0, done[1].0);
+    }
+
+    #[test]
+    fn merging_disabled_by_config() {
+        let cfg = SimConfig::malec().with_load_merging(false);
+        let mut i = MalecInterface::new(&cfg, 1);
+        i.tick(0, &mut Vec::new());
+        i.offer_load(ld(0, 0x1000));
+        run_until_done(&mut i, 1, 1);
+        i.tick(500, &mut Vec::new());
+        i.offer_load(ld(10, 0x1000));
+        i.offer_load(ld(11, 0x1008));
+        run_until_done(&mut i, 501, 2);
+        assert_eq!(i.stats().merged_loads, 0);
+    }
+
+    #[test]
+    fn way_tables_enable_reduced_accesses_on_reuse() {
+        let mut i = iface();
+        i.tick(0, &mut Vec::new());
+        // First access: miss + fill (installs way info); the post-fill
+        // replay that returns the data is already a reduced access.
+        i.offer_load(ld(0, 0x3000));
+        run_until_done(&mut i, 1, 1);
+        assert_eq!(i.stats().reduced_accesses, 1);
+        assert_eq!(i.stats().conventional_accesses, 1);
+        // Second access to the same line: way known + valid => reduced.
+        i.tick(600, &mut Vec::new());
+        i.offer_load(ld(1, 0x3010));
+        run_until_done(&mut i, 601, 1);
+        assert_eq!(i.stats().reduced_accesses, 2);
+        assert_eq!(i.counters().l1_tag_bank_reads, 1, "only the miss touched tags");
+    }
+
+    #[test]
+    fn input_buffer_full_rejects() {
+        let mut i = iface();
+        i.tick(0, &mut Vec::new());
+        let mut accepted = 0;
+        for k in 0..20u64 {
+            if i.offer_load(ld(k, 0x1000 + k * 0x1000)).is_accepted() {
+                accepted += 1;
+            }
+        }
+        assert_eq!(accepted, 7, "3 held + 4 fresh slots");
+    }
+
+    #[test]
+    fn store_translation_shares_group_page() {
+        let mut i = iface();
+        i.tick(0, &mut Vec::new());
+        i.offer_load(ld(0, 0x5000));
+        run_until_done(&mut i, 1, 1);
+        let lookups_before = i.counters().utlb_lookups;
+        // Store to the page just translated: shared, no new lookup.
+        assert!(i
+            .offer_store(MemOp::store(OpId(1), VAddr::new(0x5040), 4))
+            .is_accepted());
+        assert_eq!(i.counters().utlb_lookups, lookups_before);
+        assert_eq!(i.stats().store_translations_shared, 1);
+        // Store to a different page translates.
+        assert!(i
+            .offer_store(MemOp::store(OpId(2), VAddr::new(0x9000), 4))
+            .is_accepted());
+        assert_eq!(i.counters().utlb_lookups, lookups_before + 1);
+    }
+
+    #[test]
+    fn mbe_write_reaches_l1() {
+        let mut i = iface();
+        i.tick(0, &mut Vec::new());
+        // 5 committed stores to 5 lines on the same page: MB (4) evicts.
+        for k in 0..5u64 {
+            let op = MemOp::store(OpId(k), VAddr::new(0x7000 + k * 64), 4);
+            assert!(i.offer_store(op).is_accepted());
+            i.commit_store(OpId(k));
+        }
+        for c in 1..200 {
+            i.tick(c, &mut Vec::new());
+        }
+        assert!(i.stats().mbe_writes >= 1);
+        assert!(i.counters().l1_data_subblock_writes > 0);
+    }
+
+    #[test]
+    fn result_buses_cap_parallel_loads() {
+        let mut cfg = SimConfig::malec();
+        cfg.result_buses = 2;
+        let mut i = MalecInterface::new(&cfg, 1);
+        i.tick(0, &mut Vec::new());
+        for k in 0..4u64 {
+            i.offer_load(ld(k, 0x1000 + k * 64));
+        }
+        // One tick of servicing: at most 2 loads selected.
+        let mut out = Vec::new();
+        i.tick(1, &mut out);
+        assert!(i.stats().loads_serviced <= 2);
+        run_until_done(&mut i, 2, 4);
+        assert_eq!(i.stats().loads_serviced, 4, "the rest follow later");
+    }
+
+    #[test]
+    fn wdu_variant_records_and_covers() {
+        let cfg = SimConfig::malec().with_way_determination(WayDetermination::Wdu(16));
+        let mut i = MalecInterface::new(&cfg, 1);
+        i.tick(0, &mut Vec::new());
+        i.offer_load(ld(0, 0x3000));
+        run_until_done(&mut i, 1, 1);
+        i.tick(600, &mut Vec::new());
+        i.offer_load(ld(1, 0x3008));
+        run_until_done(&mut i, 601, 1);
+        // Reduced twice: the post-fill replay and the second access.
+        assert_eq!(i.stats().reduced_accesses, 2);
+        assert!(i.wdu_coverage().is_some());
+        assert!(i.counters().wdu_lookups >= 2);
+    }
+
+    #[test]
+    fn no_way_determination_is_always_conventional() {
+        let cfg = SimConfig::malec().with_way_determination(WayDetermination::None);
+        let mut i = MalecInterface::new(&cfg, 1);
+        i.tick(0, &mut Vec::new());
+        i.offer_load(ld(0, 0x3000));
+        run_until_done(&mut i, 1, 1);
+        i.tick(600, &mut Vec::new());
+        i.offer_load(ld(1, 0x3008));
+        run_until_done(&mut i, 601, 1);
+        assert_eq!(i.stats().reduced_accesses, 0);
+        // Discovery + conventional replay + the second access.
+        assert_eq!(i.stats().conventional_accesses, 3);
+    }
+
+    #[test]
+    fn feedback_ablation_lowers_reduced_accesses() {
+        // Fill a line while its page is NOT in the uTLB, then access it:
+        // with feedback the first conventional hit trains the uWT; without
+        // it the access stays conventional forever (until a new fill).
+        let run = |wd: WayDetermination| {
+            let cfg = SimConfig::malec().with_way_determination(wd);
+            let mut i = MalecInterface::new(&cfg, 1);
+            i.tick(0, &mut Vec::new());
+            // Touch page A (fills line, installs way info in uWT).
+            i.offer_load(ld(0, 0xA000));
+            run_until_done(&mut i, 1, 1);
+            // Evict page A from the 16-entry uTLB *and* (with the fixed
+            // seed) from the 64-entry random-replacement TLB by touching
+            // 300 other pages. The +0x40 offset keeps every intermediate
+            // line in bank 1, so page A's line (bank 0) cannot be evicted
+            // from the cache itself.
+            for k in 0..300u64 {
+                i.offer_load(ld(100 + k, 0x10_0040 + k * 0x1000));
+                run_until_done(&mut i, 700 + k * 50, 1);
+            }
+            // Re-access page A twice: line still cached, but way info lost.
+            i.offer_load(ld(900, 0xA000));
+            run_until_done(&mut i, 190_000, 1);
+            i.offer_load(ld(901, 0xA008));
+            run_until_done(&mut i, 195_000, 1);
+            i.stats().reduced_accesses
+        };
+        let with_feedback = run(WayDetermination::WayTables);
+        let without = run(WayDetermination::WayTablesNoFeedback);
+        assert!(
+            with_feedback > without,
+            "feedback must recover lost way info: {with_feedback} vs {without}"
+        );
+    }
+}

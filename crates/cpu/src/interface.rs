@@ -1,0 +1,66 @@
+//! The contract between the core and an L1 data interface implementation.
+
+use malec_types::op::{MemOp, OpId};
+
+/// Why an offered memory operation was (not) accepted this cycle.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AcceptKind {
+    /// The interface took the operation; completion will be reported by a
+    /// later [`L1DataInterface::tick`].
+    Accepted,
+    /// Structural stall (input buffer / store buffer full, port conflict);
+    /// the core must retry next cycle and the owning AGU stalls.
+    Rejected,
+}
+
+impl AcceptKind {
+    /// Whether the op was accepted.
+    pub const fn is_accepted(self) -> bool {
+        matches!(self, AcceptKind::Accepted)
+    }
+}
+
+/// One L1 data-memory-subsystem implementation (Base1ldst, Base2ld1st or
+/// MALEC).
+///
+/// Protocol, per simulated cycle:
+///
+/// 1. the core calls [`tick`](Self::tick), which advances the interface by
+///    one cycle and appends the ids of loads whose data became available
+///    this cycle to `completed`;
+/// 2. the core issues memory operations whose addresses computed this cycle
+///    via [`offer_load`](Self::offer_load) / [`offer_store`](Self::offer_store)
+///    (AGU arbitration is the core's job; acceptance is the interface's);
+/// 3. the core notifies [`commit_store`](Self::commit_store) for each store
+///    it retires, moving the store-buffer entry toward the merge buffer.
+pub trait L1DataInterface {
+    /// Advances one cycle: performs this cycle's page grouping, arbitration,
+    /// translations and cache accesses, and reports completed loads.
+    fn tick(&mut self, cycle: u64, completed: &mut Vec<OpId>);
+
+    /// Offers a load whose address computation finishes this cycle.
+    fn offer_load(&mut self, op: MemOp) -> AcceptKind;
+
+    /// Offers a store whose address computation finishes this cycle
+    /// (the store enters the store buffer on acceptance).
+    fn offer_store(&mut self, op: MemOp) -> AcceptKind;
+
+    /// Notifies that the store `id` has committed and may drain from the
+    /// store buffer into the merge buffer.
+    fn commit_store(&mut self, id: OpId);
+
+    /// Number of in-flight loads the interface still owes completions for
+    /// (used to drain the pipeline at the end of a run).
+    fn pending_loads(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accept_kind_predicate() {
+        assert!(AcceptKind::Accepted.is_accepted());
+        assert!(!AcceptKind::Rejected.is_accepted());
+    }
+}

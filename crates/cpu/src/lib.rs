@@ -1,0 +1,29 @@
+//! Cycle-level out-of-order core model — the gem5 substitute's CPU side.
+//!
+//! The paper extends gem5 for cycle-level evaluation of the L1 data
+//! interface. The properties its results depend on are (a) the Table II core
+//! parameters (168-entry ROB, 6-wide fetch/dispatch, 8-wide issue, 40-entry
+//! LQ), (b) the per-configuration address-computation capability (Table I),
+//! and (c) the interaction between load completion latency and dependent
+//! instructions. This crate models exactly that: a trace-driven out-of-order
+//! engine with dispatch/issue/commit stages, dependency wakeup, AGU
+//! arbitration, and a pluggable [`L1DataInterface`] (implemented three ways
+//! in `malec-core`).
+//!
+//! What is deliberately *not* modelled (identically for every configuration,
+//! so normalized comparisons are unaffected): instruction caches, detailed
+//! functional units, register renaming beyond dependency distances, and
+//! multi-core effects (the paper analyzes a single core, Sec. VI-D).
+//!
+//! * [`engine`] — the out-of-order core ([`OoOCore`], [`CoreStats`]);
+//! * [`interface`] — the [`L1DataInterface`] trait and completion records.
+//!
+//! [`OoOCore`]: engine::OoOCore
+//! [`CoreStats`]: engine::CoreStats
+//! [`L1DataInterface`]: interface::L1DataInterface
+
+pub mod engine;
+pub mod interface;
+
+pub use engine::{CoreStats, OoOCore};
+pub use interface::{AcceptKind, L1DataInterface};

@@ -1,0 +1,20 @@
+//! Umbrella crate hosting the repository-level `examples/` and `tests/`
+//! directories (Cargo requires examples and integration tests to belong to a
+//! package; the interesting code lives in the other workspace crates).
+//!
+//! Re-exports the main entry points so examples can use one import root.
+
+pub use malec_core::{
+    BaselineInterface, InterfaceStats, MalecInterface, RunSummary, Simulator,
+};
+pub use malec_trace::{all_benchmarks, benchmarks_of, BenchmarkProfile, Suite, WorkloadGenerator};
+pub use malec_types::{InterfaceKind, LatencyVariant, SimConfig, WayDetermination};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn reexports_compile() {
+        let cfg = crate::SimConfig::malec();
+        assert_eq!(cfg.interface, crate::InterfaceKind::Malec);
+    }
+}

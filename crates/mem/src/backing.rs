@@ -1,0 +1,160 @@
+//! L2 + DRAM backing store with flat latencies (Table II: 1 MiB 16-way L2 at
+//! 12 cycles, DRAM at 54 cycles).
+
+use malec_types::addr::LineAddr;
+use malec_types::geometry::CacheGeometry;
+
+use crate::bank::CacheBank;
+
+/// Where a backing access was satisfied.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BackingOutcome {
+    /// Hit in the L2; latency is the L2 hit latency.
+    L2Hit,
+    /// Missed the L2 and went to DRAM; latency is L2 + DRAM.
+    DramFill,
+}
+
+/// The memory system behind the L1: an inclusive L2 backed by flat-latency
+/// DRAM.
+///
+/// # Example
+///
+/// ```
+/// use malec_mem::backing::{BackingMemory, BackingOutcome};
+/// use malec_types::addr::LineAddr;
+/// use malec_types::geometry::CacheGeometry;
+///
+/// let mut mem = BackingMemory::new(CacheGeometry::paper_l2(), 12, 54);
+/// let line = LineAddr::new(0x99);
+/// let (first, lat1) = mem.fetch(line);
+/// assert_eq!(first, BackingOutcome::DramFill);
+/// assert_eq!(lat1, 12 + 54);
+/// let (second, lat2) = mem.fetch(line);
+/// assert_eq!(second, BackingOutcome::L2Hit);
+/// assert_eq!(lat2, 12);
+/// ```
+#[derive(Clone, Debug)]
+pub struct BackingMemory {
+    geometry: CacheGeometry,
+    l2: CacheBank,
+    l2_latency: u32,
+    dram_latency: u32,
+    l2_hits: u64,
+    l2_misses: u64,
+}
+
+impl BackingMemory {
+    /// Creates the backing system.
+    pub fn new(l2_geometry: CacheGeometry, l2_latency: u32, dram_latency: u32) -> Self {
+        Self {
+            geometry: l2_geometry,
+            l2: CacheBank::new(l2_geometry.total_sets(), l2_geometry.ways()),
+            l2_latency,
+            dram_latency,
+            l2_hits: 0,
+            l2_misses: 0,
+        }
+    }
+
+    fn set_and_tag(&self, line: LineAddr) -> (u32, u64) {
+        let sets = u64::from(self.geometry.total_sets());
+        ((line.raw() % sets) as u32, line.raw() / sets)
+    }
+
+    /// Fetches a line on behalf of an L1 miss, returning where it was found
+    /// and the additional latency beyond the L1.
+    ///
+    /// A DRAM fill installs the line into the L2.
+    pub fn fetch(&mut self, line: LineAddr) -> (BackingOutcome, u32) {
+        let (set, tag) = self.set_and_tag(line);
+        if self.l2.lookup(set, tag).is_some() {
+            self.l2_hits += 1;
+            (BackingOutcome::L2Hit, self.l2_latency)
+        } else {
+            self.l2_misses += 1;
+            self.l2.fill(set, tag, None);
+            (BackingOutcome::DramFill, self.l2_latency + self.dram_latency)
+        }
+    }
+
+    /// Accepts a line evicted from the L1 (inclusive hierarchy: make sure it
+    /// is present in the L2 so a re-fetch is an L2 hit).
+    pub fn accept_writeback(&mut self, line: LineAddr) {
+        let (set, tag) = self.set_and_tag(line);
+        self.l2.fill(set, tag, None);
+    }
+
+    /// L2 hit count.
+    pub fn l2_hits(&self) -> u64 {
+        self.l2_hits
+    }
+
+    /// L2 miss count.
+    pub fn l2_misses(&self) -> u64 {
+        self.l2_misses
+    }
+
+    /// L2 miss rate over backing fetches (0 if none).
+    pub fn l2_miss_rate(&self) -> f64 {
+        let total = self.l2_hits + self.l2_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.l2_misses as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> BackingMemory {
+        BackingMemory::new(CacheGeometry::paper_l2(), 12, 54)
+    }
+
+    #[test]
+    fn cold_miss_goes_to_dram_then_hits_l2() {
+        let mut m = mem();
+        let line = LineAddr::new(42);
+        assert_eq!(m.fetch(line), (BackingOutcome::DramFill, 66));
+        assert_eq!(m.fetch(line), (BackingOutcome::L2Hit, 12));
+        assert_eq!(m.l2_hits(), 1);
+        assert_eq!(m.l2_misses(), 1);
+    }
+
+    #[test]
+    fn writeback_installs_into_l2() {
+        let mut m = mem();
+        let line = LineAddr::new(7);
+        m.accept_writeback(line);
+        assert_eq!(m.fetch(line), (BackingOutcome::L2Hit, 12));
+    }
+
+    #[test]
+    fn capacity_misses_recur_for_giant_footprints() {
+        let mut m = mem();
+        let lines = 2 * 1024 * 1024 / 64; // 2 MiB footprint vs 1 MiB L2
+        for i in 0..lines {
+            m.fetch(LineAddr::new(i));
+        }
+        let misses_before = m.l2_misses();
+        for i in 0..lines {
+            m.fetch(LineAddr::new(i));
+        }
+        assert!(
+            m.l2_misses() > misses_before,
+            "a 2x-capacity sweep must keep missing"
+        );
+    }
+
+    #[test]
+    fn miss_rate_reporting() {
+        let mut m = mem();
+        assert_eq!(m.l2_miss_rate(), 0.0);
+        m.fetch(LineAddr::new(1));
+        m.fetch(LineAddr::new(1));
+        assert!((m.l2_miss_rate() - 0.5).abs() < 1e-12);
+    }
+}

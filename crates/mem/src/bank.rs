@@ -1,0 +1,265 @@
+//! One single-ported, set-associative cache bank.
+//!
+//! The bank stores tags only — this is a timing/energy simulator, data
+//! values are irrelevant. Fills support an optional way restriction so the
+//! `restrict_fill_ways` sensitivity experiment (Sec. V: each line can encode
+//! only 3 of 4 ways in its WT slot) can steer allocations away from the
+//! non-encodable way.
+
+use malec_types::addr::WayId;
+
+use crate::replacement::Lru;
+
+/// Result of filling a line into a set.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FillOutcome {
+    /// The way the line was installed into.
+    pub way: WayId,
+    /// Tag of the line that had to be evicted, if the way was occupied.
+    pub evicted_tag: Option<u64>,
+}
+
+#[derive(Clone, Debug)]
+struct CacheSet {
+    tags: Vec<Option<u64>>,
+    lru: Lru,
+}
+
+impl CacheSet {
+    fn new(ways: usize) -> Self {
+        Self {
+            tags: vec![None; ways],
+            lru: Lru::new(ways),
+        }
+    }
+
+    fn probe(&self, tag: u64) -> Option<usize> {
+        self.tags.iter().position(|&t| t == Some(tag))
+    }
+}
+
+/// A single-ported set-associative cache bank with LRU replacement.
+///
+/// # Example
+///
+/// ```
+/// use malec_mem::bank::CacheBank;
+///
+/// let mut bank = CacheBank::new(32, 4);
+/// assert!(bank.lookup(0, 0xabc).is_none());
+/// bank.fill(0, 0xabc, None);
+/// assert!(bank.lookup(0, 0xabc).is_some());
+/// ```
+#[derive(Clone, Debug)]
+pub struct CacheBank {
+    sets: Vec<CacheSet>,
+    ways: u32,
+}
+
+impl CacheBank {
+    /// Creates a bank of `sets` sets × `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `ways` is zero.
+    pub fn new(sets: u32, ways: u32) -> Self {
+        assert!(sets > 0 && ways > 0, "bank must have sets and ways");
+        Self {
+            sets: (0..sets).map(|_| CacheSet::new(ways as usize)).collect(),
+            ways,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u32 {
+        self.sets.len() as u32
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> u32 {
+        self.ways
+    }
+
+    /// Looks up `tag` in `set`, updating LRU state on a hit.
+    pub fn lookup(&mut self, set: u32, tag: u64) -> Option<WayId> {
+        let s = &mut self.sets[set as usize];
+        let way = s.probe(tag)?;
+        s.lru.touch(way);
+        Some(WayId(way as u8))
+    }
+
+    /// Checks residency without perturbing LRU state.
+    pub fn probe(&self, set: u32, tag: u64) -> Option<WayId> {
+        self.sets[set as usize].probe(tag).map(|w| WayId(w as u8))
+    }
+
+    /// Installs `tag` into `set`, preferring invalid ways, else the LRU
+    /// victim. If `exclude_way` is given, allocation avoids that way unless
+    /// it is the only option (the WT 3-of-4-way fill restriction).
+    ///
+    /// If the tag is already resident the existing way is reused (refresh).
+    pub fn fill(&mut self, set: u32, tag: u64, exclude_way: Option<WayId>) -> FillOutcome {
+        let ways = self.ways as usize;
+        let s = &mut self.sets[set as usize];
+
+        if let Some(way) = s.probe(tag) {
+            s.lru.touch(way);
+            return FillOutcome {
+                way: WayId(way as u8),
+                evicted_tag: None,
+            };
+        }
+
+        let mut mask: u64 = (1u64 << ways) - 1;
+        if let Some(ex) = exclude_way {
+            let without = mask & !(1u64 << ex.0);
+            if without != 0 {
+                mask = without;
+            }
+        }
+
+        // Prefer an invalid way within the mask.
+        let victim = (0..ways)
+            .find(|&w| mask & (1 << w) != 0 && s.tags[w].is_none())
+            .or_else(|| s.lru.victim_masked(mask))
+            .expect("mask is never empty");
+
+        let evicted_tag = s.tags[victim].take();
+        s.tags[victim] = Some(tag);
+        s.lru.touch(victim);
+        FillOutcome {
+            way: WayId(victim as u8),
+            evicted_tag,
+        }
+    }
+
+    /// Removes `tag` from `set` if resident, returning the way it occupied.
+    pub fn invalidate(&mut self, set: u32, tag: u64) -> Option<WayId> {
+        let s = &mut self.sets[set as usize];
+        let way = s.probe(tag)?;
+        s.tags[way] = None;
+        Some(WayId(way as u8))
+    }
+
+    /// Number of valid lines currently resident in the bank.
+    pub fn occupancy(&self) -> usize {
+        self.sets
+            .iter()
+            .map(|s| s.tags.iter().filter(|t| t.is_some()).count())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut b = CacheBank::new(4, 2);
+        assert_eq!(b.lookup(1, 7), None);
+        let f = b.fill(1, 7, None);
+        assert_eq!(f.evicted_tag, None);
+        assert_eq!(b.lookup(1, 7), Some(f.way));
+    }
+
+    #[test]
+    fn fill_prefers_invalid_ways() {
+        let mut b = CacheBank::new(1, 4);
+        let ways: Vec<u8> = (0..4).map(|t| b.fill(0, t, None).way.0).collect();
+        assert_eq!(ways, [0, 1, 2, 3]);
+        assert_eq!(b.occupancy(), 4);
+    }
+
+    #[test]
+    fn lru_eviction_on_full_set() {
+        let mut b = CacheBank::new(1, 2);
+        b.fill(0, 10, None);
+        b.fill(0, 20, None);
+        b.lookup(0, 10); // 20 becomes LRU
+        let f = b.fill(0, 30, None);
+        assert_eq!(f.evicted_tag, Some(20));
+        assert!(b.probe(0, 10).is_some());
+        assert!(b.probe(0, 20).is_none());
+    }
+
+    #[test]
+    fn refill_of_resident_tag_is_a_refresh() {
+        let mut b = CacheBank::new(1, 2);
+        let w = b.fill(0, 5, None).way;
+        let again = b.fill(0, 5, None);
+        assert_eq!(again.way, w);
+        assert_eq!(again.evicted_tag, None);
+        assert_eq!(b.occupancy(), 1);
+    }
+
+    #[test]
+    fn exclude_way_steers_allocation() {
+        let mut b = CacheBank::new(1, 4);
+        for t in 0..8 {
+            let f = b.fill(0, 100 + t, Some(WayId(2)));
+            assert_ne!(f.way, WayId(2), "fill landed in the excluded way");
+        }
+        // Way 2 stays invalid the whole time.
+        assert_eq!(b.occupancy(), 3);
+    }
+
+    #[test]
+    fn exclude_way_ignored_when_only_option() {
+        let mut b = CacheBank::new(1, 1);
+        let f = b.fill(0, 1, Some(WayId(0)));
+        assert_eq!(f.way, WayId(0));
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut b = CacheBank::new(2, 2);
+        let w = b.fill(1, 9, None).way;
+        assert_eq!(b.invalidate(1, 9), Some(w));
+        assert_eq!(b.invalidate(1, 9), None);
+        assert_eq!(b.lookup(1, 9), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "bank must have sets and ways")]
+    fn zero_geometry_panics() {
+        let _ = CacheBank::new(0, 4);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_occupancy_bounded(fills in proptest::collection::vec((0u32..8, 0u64..64), 0..256)) {
+            let mut b = CacheBank::new(8, 4);
+            for (set, tag) in fills {
+                b.fill(set, tag, None);
+            }
+            prop_assert!(b.occupancy() <= 8 * 4);
+        }
+
+        #[test]
+        fn prop_fill_makes_resident(set in 0u32..8, tag in 0u64..1024) {
+            let mut b = CacheBank::new(8, 4);
+            let f = b.fill(set, tag, None);
+            prop_assert_eq!(b.probe(set, tag), Some(f.way));
+        }
+
+        #[test]
+        fn prop_a_set_never_holds_duplicate_tags(
+            ops in proptest::collection::vec((0u32..4, 0u64..16), 0..128)
+        ) {
+            let mut b = CacheBank::new(4, 4);
+            for (set, tag) in &ops {
+                b.fill(*set, *tag, None);
+            }
+            for set in 0..4u32 {
+                let mut seen = std::collections::HashSet::new();
+                for tag in 0..16u64 {
+                    if b.probe(set, tag).is_some() {
+                        prop_assert!(seen.insert(tag));
+                    }
+                }
+            }
+        }
+    }
+}

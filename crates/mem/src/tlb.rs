@@ -1,0 +1,448 @@
+//! Page table, TLB and micro-TLB.
+//!
+//! The paper's way tables are *indexed by TLB entry*: the WT has exactly as
+//! many entries as the TLB, and a TLB hit returns the matching WT entry "for
+//! free". Both TLBs therefore expose their slot indices, report evictions
+//! (the uWT must sync to the WT, the WT entry must be invalidated), and
+//! support **reverse lookups by physical page** — cache line fills and
+//! evictions carry physical tags only (Sec. V).
+
+use malec_types::addr::{PPageId, VPageId};
+
+use crate::replacement::{SecondChance, SeededRandom};
+
+/// A deterministic virtual→physical mapping standing in for the OS page
+/// table. The mapping is a fixed bijective-ish hash, so identical traces
+/// always see identical physical placements.
+///
+/// # Example
+///
+/// ```
+/// use malec_mem::tlb::PageTable;
+/// use malec_types::addr::VPageId;
+///
+/// let pt = PageTable::new(16); // 2^16 physical pages (256 MiB of 4 KiB pages)
+/// let p1 = pt.translate(VPageId::new(5));
+/// assert_eq!(p1, pt.translate(VPageId::new(5)));
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct PageTable {
+    ppage_bits: u32,
+}
+
+impl PageTable {
+    /// Creates a page table with `2^ppage_bits` physical pages
+    /// (16 bits ⇒ 256 MiB of 4 KiB pages, the paper's DRAM size).
+    pub fn new(ppage_bits: u32) -> Self {
+        Self { ppage_bits }
+    }
+
+    /// Translates a virtual page to its (deterministic) physical page.
+    pub fn translate(self, vpage: VPageId) -> PPageId {
+        // Fibonacci-hash style mix keeps consecutive virtual pages from
+        // colliding in the physical space while staying deterministic.
+        let mixed = vpage
+            .raw()
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .rotate_right(17)
+            ^ vpage.raw();
+        PPageId::new(mixed & ((1 << self.ppage_bits) - 1))
+    }
+}
+
+impl Default for PageTable {
+    /// 256 MiB of physical memory (Table II DRAM size).
+    fn default() -> Self {
+        Self::new(16)
+    }
+}
+
+/// One TLB entry: a virtual→physical pair.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TlbEntry {
+    /// Virtual page tag.
+    pub vpage: VPageId,
+    /// Physical page tag (also searchable — reverse lookups).
+    pub ppage: PPageId,
+}
+
+/// What happened during a TLB insert.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TlbEvent {
+    /// Slot the new translation was installed into.
+    pub slot: usize,
+    /// The translation that was evicted, if the slot was occupied.
+    pub evicted: Option<TlbEntry>,
+}
+
+/// The main TLB: fully associative with seeded-random replacement (Sec. V).
+///
+/// # Example
+///
+/// ```
+/// use malec_mem::tlb::{PageTable, Tlb};
+/// use malec_types::addr::VPageId;
+///
+/// let pt = PageTable::default();
+/// let mut tlb = Tlb::new(64, 1);
+/// let v = VPageId::new(3);
+/// assert!(tlb.lookup(v).is_none());
+/// tlb.insert(v, pt.translate(v));
+/// assert!(tlb.lookup(v).is_some());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Tlb {
+    entries: Vec<Option<TlbEntry>>,
+    policy: SeededRandom,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Creates an empty TLB with `entries` slots and a deterministic
+    /// replacement seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero.
+    pub fn new(entries: usize, seed: u64) -> Self {
+        assert!(entries > 0, "TLB needs entries");
+        Self {
+            entries: vec![None; entries],
+            policy: SeededRandom::new(seed),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Looks up a virtual page; returns `(slot, entry)` on a hit.
+    pub fn lookup(&mut self, vpage: VPageId) -> Option<(usize, TlbEntry)> {
+        let found = self
+            .entries
+            .iter()
+            .enumerate()
+            .find_map(|(i, e)| e.filter(|e| e.vpage == vpage).map(|e| (i, e)));
+        if found.is_some() {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        found
+    }
+
+    /// Reverse lookup by physical page (used on line fills/evictions);
+    /// does not perturb statistics — it is a different tag array.
+    pub fn lookup_by_ppage(&self, ppage: PPageId) -> Option<(usize, TlbEntry)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .find_map(|(i, e)| e.filter(|e| e.ppage == ppage).map(|e| (i, e)))
+    }
+
+    /// Installs a translation, preferring a free slot, else evicting a
+    /// random victim.
+    pub fn insert(&mut self, vpage: VPageId, ppage: PPageId) -> TlbEvent {
+        if let Some((slot, _)) = self
+            .entries
+            .iter()
+            .enumerate()
+            .find_map(|(i, e)| e.filter(|e| e.vpage == vpage).map(|e| (i, e)))
+        {
+            // Refresh of an existing translation.
+            self.entries[slot] = Some(TlbEntry { vpage, ppage });
+            return TlbEvent {
+                slot,
+                evicted: None,
+            };
+        }
+        let slot = match self.entries.iter().position(Option::is_none) {
+            Some(free) => free,
+            None => self.policy.victim(self.entries.len()),
+        };
+        let evicted = self.entries[slot];
+        self.entries[slot] = Some(TlbEntry { vpage, ppage });
+        TlbEvent { slot, evicted }
+    }
+
+    /// Entry currently in `slot`.
+    pub fn entry(&self, slot: usize) -> Option<TlbEntry> {
+        self.entries.get(slot).copied().flatten()
+    }
+
+    /// Lookup hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookup misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+/// The micro-TLB: fully associative with second-chance replacement, sized at
+/// 16 entries in Table II. Second chance minimizes uWT evictions and
+/// therefore uWT→WT full-entry synchronization transfers (Sec. V).
+#[derive(Clone, Debug)]
+pub struct MicroTlb {
+    entries: Vec<Option<TlbEntry>>,
+    policy: SecondChance,
+    hits: u64,
+    misses: u64,
+}
+
+impl MicroTlb {
+    /// Creates an empty micro-TLB with `entries` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries > 0, "uTLB needs entries");
+        Self {
+            entries: vec![None; entries],
+            policy: SecondChance::new(entries),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Looks up a virtual page; a hit marks the slot referenced.
+    pub fn lookup(&mut self, vpage: VPageId) -> Option<(usize, TlbEntry)> {
+        let found = self
+            .entries
+            .iter()
+            .enumerate()
+            .find_map(|(i, e)| e.filter(|e| e.vpage == vpage).map(|e| (i, e)));
+        if let Some((slot, _)) = found {
+            self.hits += 1;
+            self.policy.touch(slot);
+        } else {
+            self.misses += 1;
+        }
+        found
+    }
+
+    /// Reverse lookup by physical page.
+    pub fn lookup_by_ppage(&self, ppage: PPageId) -> Option<(usize, TlbEntry)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .find_map(|(i, e)| e.filter(|e| e.ppage == ppage).map(|e| (i, e)))
+    }
+
+    /// Installs a translation, preferring a free slot, else the
+    /// second-chance victim. The evicted entry (if any) must be synced to
+    /// the WT by the caller.
+    pub fn insert(&mut self, vpage: VPageId, ppage: PPageId) -> TlbEvent {
+        if let Some((slot, _)) = self
+            .entries
+            .iter()
+            .enumerate()
+            .find_map(|(i, e)| e.filter(|e| e.vpage == vpage).map(|e| (i, e)))
+        {
+            self.entries[slot] = Some(TlbEntry { vpage, ppage });
+            self.policy.touch(slot);
+            return TlbEvent {
+                slot,
+                evicted: None,
+            };
+        }
+        let slot = match self.entries.iter().position(Option::is_none) {
+            Some(free) => free,
+            None => self.policy.victim(),
+        };
+        let evicted = self.entries[slot];
+        self.entries[slot] = Some(TlbEntry { vpage, ppage });
+        // The reference bit stays clear on insertion: only a subsequent hit
+        // marks the page hot. This is what lets the clock distinguish
+        // streaming pages (touched once) from re-used ones.
+        TlbEvent { slot, evicted }
+    }
+
+    /// Removes the translation in `slot` (e.g. when the main TLB evicted the
+    /// page), returning it.
+    pub fn invalidate_slot(&mut self, slot: usize) -> Option<TlbEntry> {
+        self.entries.get_mut(slot).and_then(Option::take)
+    }
+
+    /// Finds the slot holding `vpage` without statistics side effects.
+    pub fn slot_of(&self, vpage: VPageId) -> Option<usize> {
+        self.entries
+            .iter()
+            .position(|e| e.map(|e| e.vpage) == Some(vpage))
+    }
+
+    /// Entry currently in `slot`.
+    pub fn entry(&self, slot: usize) -> Option<TlbEntry> {
+        self.entries.get(slot).copied().flatten()
+    }
+
+    /// Lookup hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookup misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn page_table_is_deterministic_and_in_range() {
+        let pt = PageTable::default();
+        for v in 0..1000u64 {
+            let p = pt.translate(VPageId::new(v));
+            assert_eq!(p, pt.translate(VPageId::new(v)));
+            assert!(p.raw() < (1 << 16));
+        }
+    }
+
+    #[test]
+    fn page_table_spreads_consecutive_pages() {
+        let pt = PageTable::default();
+        let mut seen = std::collections::HashSet::new();
+        for v in 0..256u64 {
+            seen.insert(pt.translate(VPageId::new(v)).raw());
+        }
+        assert!(seen.len() > 250, "near-bijective for small ranges");
+    }
+
+    #[test]
+    fn tlb_miss_insert_hit() {
+        let pt = PageTable::default();
+        let mut tlb = Tlb::new(4, 7);
+        let v = VPageId::new(9);
+        assert!(tlb.lookup(v).is_none());
+        let ev = tlb.insert(v, pt.translate(v));
+        assert_eq!(ev.evicted, None);
+        let (slot, entry) = tlb.lookup(v).expect("hit after insert");
+        assert_eq!(slot, ev.slot);
+        assert_eq!(entry.ppage, pt.translate(v));
+        assert_eq!(tlb.hits(), 1);
+        assert_eq!(tlb.misses(), 1);
+    }
+
+    #[test]
+    fn tlb_reverse_lookup() {
+        let pt = PageTable::default();
+        let mut tlb = Tlb::new(8, 1);
+        let v = VPageId::new(33);
+        let p = pt.translate(v);
+        tlb.insert(v, p);
+        let (_, e) = tlb.lookup_by_ppage(p).expect("reverse hit");
+        assert_eq!(e.vpage, v);
+        assert!(tlb.lookup_by_ppage(PPageId::new(p.raw() ^ 1)).is_none());
+    }
+
+    #[test]
+    fn tlb_evicts_when_full() {
+        let mut tlb = Tlb::new(2, 3);
+        tlb.insert(VPageId::new(1), PPageId::new(1));
+        tlb.insert(VPageId::new(2), PPageId::new(2));
+        let ev = tlb.insert(VPageId::new(3), PPageId::new(3));
+        assert!(ev.evicted.is_some());
+        assert!(tlb.lookup(VPageId::new(3)).is_some());
+    }
+
+    #[test]
+    fn tlb_refresh_does_not_evict() {
+        let mut tlb = Tlb::new(2, 3);
+        let first = tlb.insert(VPageId::new(1), PPageId::new(1));
+        tlb.insert(VPageId::new(2), PPageId::new(2));
+        let again = tlb.insert(VPageId::new(1), PPageId::new(1));
+        assert_eq!(again.slot, first.slot);
+        assert_eq!(again.evicted, None);
+    }
+
+    #[test]
+    fn utlb_second_chance_protects_hot_entry() {
+        let mut utlb = MicroTlb::new(2);
+        utlb.insert(VPageId::new(1), PPageId::new(1));
+        utlb.insert(VPageId::new(2), PPageId::new(2));
+        // Keep page 1 hot.
+        utlb.lookup(VPageId::new(1));
+        let ev = utlb.insert(VPageId::new(3), PPageId::new(3));
+        let evicted = ev.evicted.expect("full uTLB must evict");
+        assert_eq!(evicted.vpage, VPageId::new(2), "hot page must survive");
+        assert!(utlb.lookup(VPageId::new(1)).is_some());
+    }
+
+    #[test]
+    fn utlb_invalidate_slot() {
+        let mut utlb = MicroTlb::new(4);
+        let ev = utlb.insert(VPageId::new(5), PPageId::new(50));
+        let removed = utlb.invalidate_slot(ev.slot).expect("entry present");
+        assert_eq!(removed.vpage, VPageId::new(5));
+        assert!(utlb.lookup(VPageId::new(5)).is_none());
+        assert!(utlb.invalidate_slot(ev.slot).is_none());
+    }
+
+    #[test]
+    fn utlb_slot_of_matches_lookup() {
+        let mut utlb = MicroTlb::new(4);
+        let ev = utlb.insert(VPageId::new(8), PPageId::new(80));
+        assert_eq!(utlb.slot_of(VPageId::new(8)), Some(ev.slot));
+        assert_eq!(utlb.slot_of(VPageId::new(9)), None);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_tlb_never_holds_duplicate_vpages(
+            inserts in proptest::collection::vec(0u64..32, 0..128)
+        ) {
+            let pt = PageTable::default();
+            let mut tlb = Tlb::new(8, 11);
+            for v in inserts {
+                let vp = VPageId::new(v);
+                tlb.insert(vp, pt.translate(vp));
+            }
+            for v in 0..32u64 {
+                let vp = VPageId::new(v);
+                let count = (0..tlb.capacity())
+                    .filter(|&s| tlb.entry(s).map(|e| e.vpage) == Some(vp))
+                    .count();
+                prop_assert!(count <= 1, "vpage {v} duplicated");
+            }
+        }
+
+        #[test]
+        fn prop_utlb_hit_after_insert(v in 0u64..(1 << 20)) {
+            let pt = PageTable::default();
+            let mut utlb = MicroTlb::new(16);
+            let vp = VPageId::new(v);
+            utlb.insert(vp, pt.translate(vp));
+            prop_assert!(utlb.lookup(vp).is_some());
+        }
+
+        #[test]
+        fn prop_utlb_capacity_respected(
+            inserts in proptest::collection::vec(0u64..1024, 0..256)
+        ) {
+            let pt = PageTable::default();
+            let mut utlb = MicroTlb::new(16);
+            for v in inserts {
+                let vp = VPageId::new(v);
+                utlb.insert(vp, pt.translate(vp));
+            }
+            let occupied = (0..utlb.capacity()).filter(|&s| utlb.entry(s).is_some()).count();
+            prop_assert!(occupied <= 16);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Synthetic workload generation — the SPEC CPU2000 / MediaBench2 substitute.
+//!
+//! The paper drives its evaluation with the most representative 1-billion-
+//! instruction SimPoint phase of each SPEC CPU2000 and MediaBench2 benchmark.
+//! Neither the benchmarks nor their traces are redistributable, so this crate
+//! generates *statistically equivalent* instruction streams instead: every
+//! benchmark named in Fig. 4 gets a [`BenchmarkProfile`] whose parameters are
+//! calibrated to the properties the paper reports (memory-instruction
+//! fraction, load/store ratio, page-run locality of Fig. 1, same-line
+//! adjacency, working-set size / miss-rate class, dependency density).
+//!
+//! MALEC's mechanisms only observe the *statistics* of the reference stream —
+//! page-transition run lengths, line adjacency, reorderability, miss rates —
+//! so matching those axes is what makes the reproduction meaningful. See
+//! DESIGN.md §1 for the substitution argument.
+//!
+//! * [`inst`] — the trace instruction vocabulary ([`TraceInst`]);
+//! * [`profile`] — benchmark profiles and suites ([`BenchmarkProfile`],
+//!   [`Suite`], [`all_benchmarks`]);
+//! * [`generate`] — the deterministic stochastic generator
+//!   ([`WorkloadGenerator`]);
+//! * [`stats`] — Fig. 1 statistics (consecutive same-page access runs with
+//!   allowed intermediates) and same-line adjacency.
+//!
+//! [`TraceInst`]: inst::TraceInst
+//! [`BenchmarkProfile`]: profile::BenchmarkProfile
+//! [`Suite`]: profile::Suite
+//! [`all_benchmarks`]: profile::all_benchmarks
+//! [`WorkloadGenerator`]: generate::WorkloadGenerator
+//!
+//! # Example
+//!
+//! ```
+//! use malec_trace::{all_benchmarks, WorkloadGenerator};
+//!
+//! let gzip = all_benchmarks().iter().find(|b| b.name == "gzip").cloned().unwrap();
+//! let insts: Vec<_> = WorkloadGenerator::new(&gzip, 1).take(1000).collect();
+//! assert_eq!(insts.len(), 1000);
+//! ```
+
+pub mod generate;
+pub mod inst;
+pub mod profile;
+pub mod record;
+pub mod stats;
+
+pub use generate::WorkloadGenerator;
+pub use inst::{DepDistance, TraceInst};
+pub use profile::{all_benchmarks, benchmarks_of, BenchmarkProfile, Suite};
+pub use record::{read_trace, write_trace};
+pub use stats::{page_locality_ratios, run_length_buckets, same_line_adjacency, RunLengthBuckets};

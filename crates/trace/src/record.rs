@@ -1,0 +1,287 @@
+//! Trace recording and replay.
+//!
+//! Synthetic generation is deterministic, but exporting traces makes runs
+//! portable across tool versions and lets external (real) traces drive the
+//! simulator. The format is a compact little-endian byte stream:
+//!
+//! ```text
+//! magic "MLCT"  version u8
+//! record*:
+//!   tag u8  — 0 op, 1 load, 2 store, 3 branch
+//!   Op:     latency u8, dep varint (0 = none)
+//!   Load:   vaddr varint, size u8, addr_dep varint (0 = none)
+//!   Store:  vaddr varint, size u8, data_dep varint (0 = none)
+//!   Branch: flags u8 (bit0 = mispredicted), dep varint (0 = none)
+//! ```
+//!
+//! Varints are LEB128 (7 bits per byte, high bit = continuation).
+
+use std::io::{self, Read, Write};
+
+use malec_types::addr::VAddr;
+
+use crate::inst::TraceInst;
+
+const MAGIC: &[u8; 4] = b"MLCT";
+const VERSION: u8 = 1;
+
+fn write_varint(w: &mut impl Write, mut v: u64) -> io::Result<()> {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            return w.write_all(&[byte]);
+        }
+        w.write_all(&[byte | 0x80])?;
+    }
+}
+
+fn read_varint(r: &mut impl Read) -> io::Result<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8; 1];
+        r.read_exact(&mut byte)?;
+        if shift >= 63 && byte[0] > 1 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "varint overflows u64",
+            ));
+        }
+        v |= u64::from(byte[0] & 0x7f) << shift;
+        if byte[0] & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+fn dep_to_wire(dep: Option<u32>) -> u64 {
+    dep.map_or(0, |d| u64::from(d) + 1)
+}
+
+fn dep_from_wire(v: u64) -> Option<u32> {
+    if v == 0 {
+        None
+    } else {
+        Some((v - 1).min(u64::from(u32::MAX)) as u32)
+    }
+}
+
+/// Writes a trace to `w`. A mutable reference also works (`&mut Vec<u8>`
+/// via `io::Write`).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+///
+/// # Example
+///
+/// ```
+/// # use std::error::Error;
+/// # fn main() -> Result<(), Box<dyn Error>> {
+/// use malec_trace::record::{read_trace, write_trace};
+/// use malec_trace::{all_benchmarks, WorkloadGenerator};
+///
+/// let insts: Vec<_> = WorkloadGenerator::new(&all_benchmarks()[0], 1).take(100).collect();
+/// let mut buf = Vec::new();
+/// write_trace(&mut buf, insts.iter().copied())?;
+/// assert_eq!(read_trace(&mut buf.as_slice())?, insts);
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_trace(
+    w: &mut impl Write,
+    trace: impl IntoIterator<Item = TraceInst>,
+) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&[VERSION])?;
+    for inst in trace {
+        match inst {
+            TraceInst::Op { latency, dep } => {
+                w.write_all(&[0, latency])?;
+                write_varint(w, dep_to_wire(dep))?;
+            }
+            TraceInst::Load {
+                vaddr,
+                size,
+                addr_dep,
+            } => {
+                w.write_all(&[1])?;
+                write_varint(w, vaddr.raw())?;
+                w.write_all(&[size])?;
+                write_varint(w, dep_to_wire(addr_dep))?;
+            }
+            TraceInst::Store {
+                vaddr,
+                size,
+                data_dep,
+            } => {
+                w.write_all(&[2])?;
+                write_varint(w, vaddr.raw())?;
+                w.write_all(&[size])?;
+                write_varint(w, dep_to_wire(data_dep))?;
+            }
+            TraceInst::Branch { mispredicted, dep } => {
+                w.write_all(&[3, u8::from(mispredicted)])?;
+                write_varint(w, dep_to_wire(dep))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Reads a complete trace from `r`.
+///
+/// # Errors
+///
+/// Returns `InvalidData` for a bad magic/version/tag, and propagates I/O
+/// errors. A clean EOF at a record boundary ends the trace.
+pub fn read_trace(r: &mut impl Read) -> io::Result<Vec<TraceInst>> {
+    let mut header = [0u8; 5];
+    r.read_exact(&mut header)?;
+    if &header[..4] != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad trace magic"));
+    }
+    if header[4] != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "unsupported trace version",
+        ));
+    }
+    let mut out = Vec::new();
+    loop {
+        let mut tag = [0u8; 1];
+        match r.read_exact(&mut tag) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(out),
+            Err(e) => return Err(e),
+        }
+        let inst = match tag[0] {
+            0 => {
+                let mut latency = [0u8; 1];
+                r.read_exact(&mut latency)?;
+                TraceInst::Op {
+                    latency: latency[0],
+                    dep: dep_from_wire(read_varint(r)?),
+                }
+            }
+            1 => {
+                let vaddr = VAddr::new(read_varint(r)?);
+                let mut size = [0u8; 1];
+                r.read_exact(&mut size)?;
+                TraceInst::Load {
+                    vaddr,
+                    size: size[0],
+                    addr_dep: dep_from_wire(read_varint(r)?),
+                }
+            }
+            2 => {
+                let vaddr = VAddr::new(read_varint(r)?);
+                let mut size = [0u8; 1];
+                r.read_exact(&mut size)?;
+                TraceInst::Store {
+                    vaddr,
+                    size: size[0],
+                    data_dep: dep_from_wire(read_varint(r)?),
+                }
+            }
+            3 => {
+                let mut flags = [0u8; 1];
+                r.read_exact(&mut flags)?;
+                TraceInst::Branch {
+                    mispredicted: flags[0] & 1 != 0,
+                    dep: dep_from_wire(read_varint(r)?),
+                }
+            }
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unknown trace record tag {other}"),
+                ))
+            }
+        };
+        out.push(inst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::WorkloadGenerator;
+    use crate::profile::all_benchmarks;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_generated_trace() {
+        for profile in all_benchmarks().iter().take(4) {
+            let insts: Vec<TraceInst> =
+                WorkloadGenerator::new(profile, 9).take(5_000).collect();
+            let mut buf = Vec::new();
+            write_trace(&mut buf, insts.iter().copied()).expect("write");
+            let back = read_trace(&mut buf.as_slice()).expect("read");
+            assert_eq!(back, insts, "{}", profile.name);
+        }
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, std::iter::empty()).expect("write");
+        assert_eq!(buf.len(), 5, "just the header");
+        assert!(read_trace(&mut buf.as_slice()).expect("read").is_empty());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let buf = b"NOPE\x01".to_vec();
+        let err = read_trace(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let buf = b"MLCT\x63".to_vec();
+        let err = read_trace(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, std::iter::empty()).expect("write");
+        buf.push(9);
+        let err = read_trace(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_record_is_an_error() {
+        let mut buf = Vec::new();
+        write_trace(
+            &mut buf,
+            [TraceInst::Load {
+                vaddr: VAddr::new(0x1234_5678),
+                size: 8,
+                addr_dep: Some(3),
+            }],
+        )
+        .expect("write");
+        buf.truncate(buf.len() - 1);
+        assert!(read_trace(&mut buf.as_slice()).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_varint_roundtrip(v in proptest::num::u64::ANY) {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v).unwrap();
+            prop_assert_eq!(read_varint(&mut buf.as_slice()).unwrap(), v);
+        }
+
+        #[test]
+        fn prop_dep_wire_roundtrip(d in proptest::option::of(0u32..u32::MAX)) {
+            prop_assert_eq!(dep_from_wire(dep_to_wire(d)), d);
+        }
+    }
+}

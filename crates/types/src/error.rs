@@ -1,0 +1,57 @@
+//! Error types shared across the workspace.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when constructing an invalid configuration or geometry.
+///
+/// # Example
+///
+/// ```
+/// use malec_types::geometry::PageGeometry;
+///
+/// let err = PageGeometry::new(1000, 64).unwrap_err();
+/// assert!(err.to_string().contains("power of two"));
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ConfigError {
+    message: &'static str,
+}
+
+impl ConfigError {
+    /// Creates a configuration error with a static description.
+    pub const fn new(message: &'static str) -> Self {
+        Self { message }
+    }
+
+    /// The human-readable description.
+    pub const fn message(&self) -> &'static str {
+        self.message
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.message)
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_message() {
+        let e = ConfigError::new("bad geometry");
+        assert_eq!(e.to_string(), "bad geometry");
+        assert_eq!(e.message(), "bad geometry");
+    }
+
+    #[test]
+    fn is_std_error_send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<ConfigError>();
+    }
+}
