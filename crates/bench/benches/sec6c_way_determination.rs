@@ -56,7 +56,10 @@ fn main() {
     t.separator();
     let mut mean_row = vec!["mean".to_owned()];
     for c in &coverages {
-        mean_row.push(format!("{:5.1}", 100.0 * c.iter().sum::<f64>() / c.len() as f64));
+        mean_row.push(format!(
+            "{:5.1}",
+            100.0 * c.iter().sum::<f64>() / c.len() as f64
+        ));
     }
     for e in &energies {
         mean_row.push(format!("{:6.1}", geo_mean(e)));

@@ -38,9 +38,7 @@ fn main() {
         ]);
     }
     println!("{}", t.render());
-    println!(
-        "max |delta| = {max_delta:.2} pp — the paper reports no measurable increase.\n"
-    );
+    println!("max |delta| = {max_delta:.2} pp — the paper reports no measurable increase.\n");
 
     // --- 2. Streaming workloads hurt way prediction.
     println!("== Sensitivity 2: way prediction on streaming/low-locality workloads ==\n");
@@ -105,8 +103,14 @@ fn main() {
         let wide = malec_bench::run_one(&SimConfig::malec_wide(), &profile, insts);
         w.row(vec![
             name.to_owned(),
-            format!("{:5.1}", 100.0 * narrow.core.cycles as f64 / base.core.cycles as f64),
-            format!("{:5.1}", 100.0 * wide.core.cycles as f64 / base.core.cycles as f64),
+            format!(
+                "{:5.1}",
+                100.0 * narrow.core.cycles as f64 / base.core.cycles as f64
+            ),
+            format!(
+                "{:5.1}",
+                100.0 * wide.core.cycles as f64 / base.core.cycles as f64
+            ),
         ]);
     }
     println!("{}", w.render());

@@ -1,0 +1,201 @@
+//! `malec-bench` — the simulator-throughput benchmark.
+//!
+//! Runs a fixed workload (the three Table I configurations × eight
+//! representative benchmarks at `DEFAULT_INSTS` instructions, fixed seed)
+//! twice — once through the serial sweep path, once through the parallel
+//! one — and:
+//!
+//! 1. asserts the parallel matrix is **bit-identical** to the serial one;
+//! 2. asserts both match the recorded pre-optimization golden digests
+//!    (`malec_bench::goldens`), so hot-path rewrites provably preserve
+//!    simulated behavior;
+//! 3. writes wall-clock and cells/sec for both paths to
+//!    `BENCH_simulator.json` at the workspace root, tracking the perf
+//!    trajectory from PR 1 onward.
+//!
+//! Flags: `--record` prints a fresh `GOLDEN_DIGESTS` table instead of
+//! checking (use only after an intentional behavior change).
+
+use std::time::Instant;
+
+use malec_bench::goldens::{digest, BENCH_BENCHMARKS, GOLDEN_DIGESTS};
+use malec_bench::{run_matrix_on, run_matrix_serial_on, DEFAULT_INSTS};
+use malec_core::parallel::worker_count;
+use malec_core::RunSummary;
+use malec_trace::all_benchmarks;
+use malec_trace::profile::BenchmarkProfile;
+use malec_types::SimConfig;
+
+/// Parallel speedup demanded when enough cores are present.
+const REQUIRED_SPEEDUP: f64 = 2.0;
+/// Cores needed before the speedup requirement is enforced (on a dual-core
+/// runner 2× is unreachable on principle; on ≥4 cores it is comfortable).
+const REQUIRED_SPEEDUP_MIN_WORKERS: usize = 4;
+
+fn configs() -> Vec<SimConfig> {
+    vec![
+        SimConfig::base1ldst(),
+        SimConfig::base2ld1st(),
+        SimConfig::malec(),
+    ]
+}
+
+fn benchmarks() -> Vec<BenchmarkProfile> {
+    let profiles: Vec<BenchmarkProfile> = all_benchmarks()
+        .into_iter()
+        .filter(|b| BENCH_BENCHMARKS.contains(&b.name))
+        .collect();
+    assert_eq!(
+        profiles.len(),
+        BENCH_BENCHMARKS.len(),
+        "every fixed-workload benchmark must exist"
+    );
+    profiles
+}
+
+fn flat(matrix: &[Vec<RunSummary>]) -> impl Iterator<Item = &RunSummary> {
+    matrix.iter().flat_map(|row| row.iter())
+}
+
+fn check_goldens(matrix: &[Vec<RunSummary>]) {
+    assert_eq!(
+        GOLDEN_DIGESTS.len(),
+        matrix.iter().map(Vec::len).sum::<usize>(),
+        "golden table must cover every cell (re-record with --record)"
+    );
+    for (cell, &(bench, config, want)) in flat(matrix).zip(GOLDEN_DIGESTS) {
+        assert_eq!(cell.benchmark, bench, "cell order drifted");
+        assert_eq!(cell.config, config, "cell order drifted");
+        let got = digest(cell);
+        assert_eq!(
+            got, want,
+            "{bench}/{config}: simulated behavior diverged from the recorded golden \
+             (digest {got:#018x} != {want:#018x})"
+        );
+    }
+}
+
+fn record_goldens(matrix: &[Vec<RunSummary>]) {
+    println!("pub const GOLDEN_DIGESTS: &[(&str, &str, u64)] = &[");
+    for cell in flat(matrix) {
+        println!(
+            "    (\"{}\", \"{}\", {:#018x}),",
+            cell.benchmark,
+            cell.config,
+            digest(cell)
+        );
+    }
+    println!("];");
+}
+
+fn json_str_list<S: AsRef<str>>(items: impl Iterator<Item = S>) -> String {
+    let body = items
+        .map(|s| format!("\"{}\"", s.as_ref()))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("[{body}]")
+}
+
+fn write_json(
+    path: &str,
+    matrix: &[Vec<RunSummary>],
+    workers: usize,
+    serial_s: f64,
+    parallel_s: f64,
+    goldens: &str,
+) {
+    let cells = matrix.iter().map(Vec::len).sum::<usize>();
+    let speedup = serial_s / parallel_s;
+    // Labels come from the matrix itself so the artifact can never
+    // disagree with the cells it describes.
+    let config_list = json_str_list(matrix[0].iter().map(|s| s.config.as_str()));
+    let bench_list = json_str_list(BENCH_BENCHMARKS.iter());
+    let note = if workers == 1 {
+        "single-core host: parallel speedup is not observable here; the >=2x requirement is enforced on hosts with >=4 workers"
+    } else {
+        "speedup requirement enforced at >=4 workers"
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"malec_sweep_matrix\",\n  \"workload\": {{\n    \"configs\": {},\n    \"benchmarks\": {},\n    \"insts_per_cell\": {},\n    \"cells\": {}\n  }},\n  \"workers\": {},\n  \"serial\": {{ \"wall_seconds\": {:.4}, \"cells_per_sec\": {:.3} }},\n  \"parallel\": {{ \"wall_seconds\": {:.4}, \"cells_per_sec\": {:.3} }},\n  \"speedup\": {:.3},\n  \"note\": \"{}\",\n  \"golden_digests\": \"{}\"\n}}\n",
+        config_list,
+        bench_list,
+        DEFAULT_INSTS,
+        cells,
+        workers,
+        serial_s,
+        cells as f64 / serial_s,
+        parallel_s,
+        cells as f64 / parallel_s,
+        speedup,
+        note,
+        goldens,
+    );
+    std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+}
+
+fn main() {
+    let record = std::env::args().any(|a| a == "--record");
+    let configs = configs();
+    let benchmarks = benchmarks();
+    let cells = configs.len() * benchmarks.len();
+    let workers = worker_count();
+
+    eprintln!(
+        "malec-bench: {cells} cells ({} configs x {} benchmarks) at {DEFAULT_INSTS} insts, \
+         {workers} worker(s)",
+        configs.len(),
+        benchmarks.len()
+    );
+
+    let t = Instant::now();
+    let serial = run_matrix_serial_on(&benchmarks, &configs, DEFAULT_INSTS);
+    let serial_s = t.elapsed().as_secs_f64();
+    eprintln!(
+        "  serial:   {serial_s:.3}s  ({:.2} cells/s)",
+        cells as f64 / serial_s
+    );
+
+    let t = Instant::now();
+    let parallel = run_matrix_on(&benchmarks, &configs, DEFAULT_INSTS);
+    let parallel_s = t.elapsed().as_secs_f64();
+    eprintln!(
+        "  parallel: {parallel_s:.3}s  ({:.2} cells/s, {:.2}x)",
+        cells as f64 / parallel_s,
+        serial_s / parallel_s
+    );
+
+    // Scheduling must not leak into results: the parallel matrix is
+    // bit-identical to the serial one, cell by cell.
+    for (s, p) in flat(&serial).zip(flat(&parallel)) {
+        assert_eq!(
+            digest(s),
+            digest(p),
+            "{}/{}: parallel result diverged from serial",
+            s.benchmark,
+            s.config
+        );
+    }
+
+    let golden_status = if record {
+        record_goldens(&serial);
+        "recorded"
+    } else {
+        check_goldens(&serial);
+        eprintln!("  goldens:  ok ({} digests)", GOLDEN_DIGESTS.len());
+        "ok"
+    };
+
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_simulator.json");
+    write_json(out, &serial, workers, serial_s, parallel_s, golden_status);
+    eprintln!("  wrote {out}");
+
+    if workers >= REQUIRED_SPEEDUP_MIN_WORKERS {
+        let speedup = serial_s / parallel_s;
+        assert!(
+            speedup >= REQUIRED_SPEEDUP,
+            "parallel sweep must be >= {REQUIRED_SPEEDUP}x with {workers} workers, got {speedup:.2}x"
+        );
+    } else if workers == 1 {
+        eprintln!("  note: single-core host, speedup requirement not applicable");
+    }
+}

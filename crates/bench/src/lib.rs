@@ -5,12 +5,15 @@
 //! benchmark profiles over the five analyzed configurations — lives here so
 //! the individual benches stay declarative.
 
+use malec_core::parallel::parallel_map;
 use malec_core::report::geo_mean;
 use malec_core::RunSummary;
 use malec_core::Simulator;
-use malec_trace::profile::{BenchmarkProfile, Suite};
 use malec_trace::all_benchmarks;
+use malec_trace::profile::{BenchmarkProfile, Suite};
 use malec_types::SimConfig;
+
+pub mod goldens;
 
 /// Instructions simulated per benchmark per configuration. The paper uses
 /// 1-billion-instruction SimPoint phases; the synthetic workloads' statistics
@@ -27,8 +30,42 @@ pub fn run_one(config: &SimConfig, profile: &BenchmarkProfile, insts: u64) -> Ru
 
 /// Runs every benchmark under every given configuration:
 /// `result[bench_idx][config_idx]`.
+///
+/// Every `(benchmark, config)` cell is an independent, seeded simulation,
+/// so the full matrix fans out across all available cores; the result is
+/// bit-identical to [`run_matrix_serial`] regardless of scheduling (each
+/// cell writes its own slot).
 pub fn run_matrix(configs: &[SimConfig], insts: u64) -> Vec<Vec<RunSummary>> {
-    all_benchmarks()
+    run_matrix_on(&all_benchmarks(), configs, insts)
+}
+
+/// [`run_matrix`] restricted to the given benchmark subset.
+pub fn run_matrix_on(
+    benchmarks: &[BenchmarkProfile],
+    configs: &[SimConfig],
+    insts: u64,
+) -> Vec<Vec<RunSummary>> {
+    let cells: Vec<(&BenchmarkProfile, &SimConfig)> = benchmarks
+        .iter()
+        .flat_map(|profile| configs.iter().map(move |config| (profile, config)))
+        .collect();
+    let summaries = parallel_map(cells, |(profile, config)| run_one(config, profile, insts));
+    rows_of(summaries, configs.len())
+}
+
+/// The serial reference path (kept for speedup measurement and as the
+/// ground truth the parallel matrix is compared against).
+pub fn run_matrix_serial(configs: &[SimConfig], insts: u64) -> Vec<Vec<RunSummary>> {
+    run_matrix_serial_on(&all_benchmarks(), configs, insts)
+}
+
+/// [`run_matrix_serial`] restricted to the given benchmark subset.
+pub fn run_matrix_serial_on(
+    benchmarks: &[BenchmarkProfile],
+    configs: &[SimConfig],
+    insts: u64,
+) -> Vec<Vec<RunSummary>> {
+    benchmarks
         .iter()
         .map(|profile| {
             configs
@@ -37,6 +74,17 @@ pub fn run_matrix(configs: &[SimConfig], insts: u64) -> Vec<Vec<RunSummary>> {
                 .collect()
         })
         .collect()
+}
+
+/// Chunks a flat row-major cell list back into per-benchmark rows.
+fn rows_of(summaries: Vec<RunSummary>, row_len: usize) -> Vec<Vec<RunSummary>> {
+    debug_assert!(row_len > 0 && summaries.len().is_multiple_of(row_len));
+    let mut rows = Vec::with_capacity(summaries.len() / row_len);
+    let mut it = summaries.into_iter();
+    while it.len() > 0 {
+        rows.push(it.by_ref().take(row_len).collect());
+    }
+    rows
 }
 
 /// Per-suite and overall geometric means of a per-benchmark series, in the
@@ -93,5 +141,21 @@ mod tests {
         let profile = &all_benchmarks()[0];
         let s = run_one(&SimConfig::base1ldst(), profile, 2_000);
         assert_eq!(s.core.committed, 2_000);
+    }
+
+    #[test]
+    fn parallel_matrix_matches_serial_bit_for_bit() {
+        let benches: Vec<_> = all_benchmarks().into_iter().take(3).collect();
+        let configs = [SimConfig::base1ldst(), SimConfig::malec()];
+        let serial = run_matrix_serial_on(&benches, &configs, 3_000);
+        let parallel = run_matrix_on(&benches, &configs, 3_000);
+        assert_eq!(serial.len(), parallel.len());
+        for (srow, prow) in serial.iter().zip(&parallel) {
+            for (s, p) in srow.iter().zip(prow) {
+                assert_eq!(s.benchmark, p.benchmark);
+                assert_eq!(s.config, p.config);
+                assert_eq!(crate::goldens::digest(s), crate::goldens::digest(p));
+            }
+        }
     }
 }

@@ -18,6 +18,7 @@ use malec_types::op::{MemOp, OpId};
 
 use crate::metrics::InterfaceStats;
 use crate::mmu::Mmu;
+use crate::pending::{CompletionQueue, FillTable};
 use crate::sbmb::{MergeBuffer, StoreBuffer};
 
 #[derive(Clone, Copy, Debug)]
@@ -55,8 +56,8 @@ pub struct BaselineInterface {
     stats: InterfaceStats,
     pending: VecDeque<PendingLoad>,
     pending_writes: VecDeque<PendingWrite>,
-    completions: Vec<(u64, OpId)>,
-    pending_fills: std::collections::HashMap<u64, u64>,
+    completions: CompletionQueue,
+    pending_fills: FillTable,
     cycle: u64,
     read_capacity: u32,
     write_capacity: u32,
@@ -91,10 +92,10 @@ impl BaselineInterface {
             ),
             counters: EnergyCounters::default(),
             stats: InterfaceStats::default(),
-            pending: VecDeque::new(),
-            pending_writes: VecDeque::new(),
-            completions: Vec::new(),
-            pending_fills: std::collections::HashMap::new(),
+            pending: VecDeque::with_capacity(64),
+            pending_writes: VecDeque::with_capacity(8),
+            completions: CompletionQueue::with_capacity(32),
+            pending_fills: FillTable::with_capacity(128),
             cycle: 0,
             read_capacity,
             write_capacity,
@@ -141,9 +142,7 @@ impl BaselineInterface {
             }
         }
         let offset = op.vaddr.raw() & (self.config.page.page_bytes() - 1);
-        let paddr = PAddr::new(
-            (t.ppage.raw() << self.config.page.page_offset_bits()) | offset,
-        );
+        let paddr = PAddr::new((t.ppage.raw() << self.config.page.page_offset_bits()) | offset);
         (paddr, t.path.extra_latency())
     }
 
@@ -182,17 +181,13 @@ impl BaselineInterface {
         // MSHR semantics: an access to a line with an outstanding fill
         // completes no earlier than that fill.
         if outcome.l1_hit {
-            if let Some(&ready) = self.pending_fills.get(&line.raw()) {
-                if ready > self.cycle {
-                    done = done.max(ready);
-                } else {
-                    self.pending_fills.remove(&line.raw());
-                }
+            if let Some(ready) = self.pending_fills.ready_after(line.raw(), self.cycle) {
+                done = done.max(ready);
             }
         } else {
-            self.pending_fills.insert(line.raw(), done);
+            self.pending_fills.note_fill(line.raw(), done);
         }
-        self.completions.push((done, p.op.id));
+        self.completions.push(done, p.op.id);
         self.stats.loads_serviced += 1;
     }
 
@@ -217,7 +212,8 @@ impl BaselineInterface {
         // current mapping deterministically via the page table (same page
         // mapping as at acceptance — the simulator has no remaps).
         if let Some(evicted) = self.mb.insert(op) {
-            let line = LineAddr::new(evicted.rep.vaddr.raw() >> self.config.page.line_offset_bits());
+            let line =
+                LineAddr::new(evicted.rep.vaddr.raw() >> self.config.page.line_offset_bits());
             self.pending_writes.push_back(PendingWrite {
                 line: self.physical_line(line),
                 sub_blocks: 2,
@@ -240,15 +236,9 @@ impl L1DataInterface for BaselineInterface {
     fn tick(&mut self, cycle: u64, completed: &mut Vec<OpId>) {
         self.cycle = cycle;
 
-        // 1. Deliver due completions.
-        self.completions.retain(|&(due, id)| {
-            if due <= cycle {
-                completed.push(id);
-                false
-            } else {
-                true
-            }
-        });
+        // 1. Deliver due completions (min-heap pop instead of a full scan).
+        self.completions.drain_due(cycle, completed);
+        self.pending_fills.prune(cycle);
 
         // 2. Service cache accesses within the port budget. Writes (merge
         //    buffer evictions) are not time critical; loads go first.
@@ -256,10 +246,7 @@ impl L1DataInterface for BaselineInterface {
         let mut writes = 0u32;
         while reads < self.read_capacity
             && reads + writes < self.total_capacity
-            && self
-                .pending
-                .front()
-                .is_some_and(|p| p.ready <= cycle)
+            && self.pending.front().is_some_and(|p| p.ready <= cycle)
         {
             let p = self.pending.pop_front().expect("front checked");
             self.service_load(p);
@@ -434,8 +421,7 @@ mod tests {
         i.tick(0, &mut Vec::new());
         let mut accepted = 0;
         for k in 0..100u64 {
-            if i
-                .offer_store(MemOp::store(OpId(k), VAddr::new(0x1000 + k * 4), 4))
+            if i.offer_store(MemOp::store(OpId(k), VAddr::new(0x1000 + k * 4), 4))
                 .is_accepted()
             {
                 accepted += 1;

@@ -36,6 +36,20 @@ pub struct GroupSelection {
     pub compares: u32,
 }
 
+/// The group metadata of one cycle's selection, without the member list —
+/// [`InputBuffer::select_into`] writes the members into a caller-owned
+/// buffer so the per-cycle hot path allocates nothing.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct GroupMeta {
+    /// The page every member shares.
+    pub vpage: VPageId,
+    /// Whether the pending MBE belongs to the group.
+    pub include_mbe: bool,
+    /// vPageID comparisons performed (energy: one 20-bit compare per other
+    /// valid entry).
+    pub compares: u32,
+}
+
 /// The Input Buffer.
 ///
 /// # Example
@@ -122,22 +136,41 @@ impl InputBuffer {
     /// Selects this cycle's page group: the highest-priority entry leads,
     /// all same-page entries join. Loads outrank the MBE; among loads, age
     /// then program order.
+    ///
+    /// Convenience wrapper over [`select_into`](Self::select_into) that
+    /// allocates the member list; the simulation hot path uses
+    /// `select_into` with a reused buffer instead.
     pub fn select(&self) -> Option<GroupSelection> {
+        let mut members = Vec::new();
+        let meta = self.select_into(&mut members)?;
+        Some(GroupSelection {
+            vpage: meta.vpage,
+            loads: members.into_iter().map(|e| e.op).collect(),
+            include_mbe: meta.include_mbe,
+            compares: meta.compares,
+        })
+    }
+
+    /// Allocation-free group selection: clears `members` and fills it with
+    /// this cycle's group in priority order (leader first). Returns the
+    /// group metadata, or `None` when the buffer holds nothing.
+    pub fn select_into(&self, members: &mut Vec<IbEntry>) -> Option<GroupMeta> {
+        members.clear();
         let leader = self
             .loads
             .iter()
             .min_by_key(|e| (e.arrived, e.op.id))
             .or(self.mbe.as_ref())?;
         let vpage = leader.vpage;
-        let mut loads: Vec<&IbEntry> =
-            self.loads.iter().filter(|e| e.vpage == vpage).collect();
-        loads.sort_by_key(|e| (e.arrived, e.op.id));
+        members.extend(self.loads.iter().filter(|e| e.vpage == vpage).copied());
+        // (arrived, id) is unique per entry, so the unstable sort is
+        // deterministic.
+        members.sort_unstable_by_key(|e| (e.arrived, e.op.id));
         let include_mbe = self.mbe.as_ref().is_some_and(|m| m.vpage == vpage);
         // One comparator per other valid entry (the leader itself is free).
         let valid = self.loads.len() + usize::from(self.mbe.is_some());
-        Some(GroupSelection {
+        Some(GroupMeta {
             vpage,
-            loads: loads.into_iter().map(|e| e.op).collect(),
             include_mbe,
             compares: valid.saturating_sub(1) as u32,
         })

@@ -43,6 +43,8 @@ pub mod input_buffer;
 pub mod malec;
 pub mod metrics;
 pub mod mmu;
+pub mod parallel;
+pub mod pending;
 pub mod report;
 pub mod sbmb;
 pub mod segmented_wt;

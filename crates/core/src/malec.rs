@@ -33,12 +33,17 @@ use malec_types::config::{InterfaceKind, SimConfig, WayDetermination};
 use malec_types::op::{MemOp, OpId};
 use malec_types::params::MERGE_COMPARE_WINDOW;
 
-use crate::input_buffer::InputBuffer;
+use crate::input_buffer::{IbEntry, InputBuffer};
 use crate::metrics::InterfaceStats;
 use crate::mmu::{Mmu, Translation, TranslationPath};
+use crate::pending::{CompletionQueue, FillTable};
 use crate::sbmb::{MergeBuffer, StoreBuffer};
 use crate::waytable::{MicroWayTable, WayTable};
 use crate::wdu::Wdu;
+
+/// One arbitration candidate: the op, its physical line, its bank, and its
+/// 32-byte merge window within the line.
+type LoadInfo = (MemOp, LineAddr, usize, u64);
 
 /// The MALEC L1 data interface.
 ///
@@ -65,11 +70,19 @@ pub struct MalecInterface {
     feedback: bool,
     counters: EnergyCounters,
     stats: InterfaceStats,
-    completions: Vec<(u64, OpId)>,
+    completions: CompletionQueue,
     pending_mbe: std::collections::VecDeque<MemOp>,
-    pending_fills: std::collections::HashMap<u64, u64>,
+    pending_fills: FillTable,
     last_translation: Option<(VPageId, PPageId)>,
     cycle: u64,
+    // Reusable per-tick scratch: owned by the interface so the steady-state
+    // tick performs no heap allocation (capacities are bounded by the Input
+    // Buffer size / bank count and reached within the first few cycles).
+    scratch_group: Vec<IbEntry>,
+    scratch_infos: Vec<LoadInfo>,
+    scratch_selected: Vec<(usize, usize)>,
+    bank_leader: Vec<Option<usize>>,
+    leader_done: Vec<u64>,
 }
 
 impl MalecInterface {
@@ -89,14 +102,34 @@ impl MalecInterface {
         let ways = config.l1.ways();
         let (uwt, wt, wdu, feedback) = match config.way_determination {
             WayDetermination::WayTables => (
-                Some(MicroWayTable::new(usize::from(config.utlb_entries), lines, banks, ways)),
-                Some(WayTable::new(usize::from(config.tlb_entries), lines, banks, ways)),
+                Some(MicroWayTable::new(
+                    usize::from(config.utlb_entries),
+                    lines,
+                    banks,
+                    ways,
+                )),
+                Some(WayTable::new(
+                    usize::from(config.tlb_entries),
+                    lines,
+                    banks,
+                    ways,
+                )),
                 None,
                 true,
             ),
             WayDetermination::WayTablesNoFeedback => (
-                Some(MicroWayTable::new(usize::from(config.utlb_entries), lines, banks, ways)),
-                Some(WayTable::new(usize::from(config.tlb_entries), lines, banks, ways)),
+                Some(MicroWayTable::new(
+                    usize::from(config.utlb_entries),
+                    lines,
+                    banks,
+                    ways,
+                )),
+                Some(WayTable::new(
+                    usize::from(config.tlb_entries),
+                    lines,
+                    banks,
+                    ways,
+                )),
                 None,
                 false,
             ),
@@ -123,11 +156,16 @@ impl MalecInterface {
             feedback,
             counters: EnergyCounters::default(),
             stats: InterfaceStats::default(),
-            completions: Vec::new(),
-            pending_mbe: std::collections::VecDeque::new(),
-            pending_fills: std::collections::HashMap::new(),
+            completions: CompletionQueue::with_capacity(32),
+            pending_mbe: std::collections::VecDeque::with_capacity(4),
+            pending_fills: FillTable::with_capacity(128),
             last_translation: None,
             cycle: 0,
+            scratch_group: Vec::with_capacity(usize::from(config.input_buffer_held) + 4),
+            scratch_infos: Vec::with_capacity(usize::from(config.input_buffer_held) + 4),
+            scratch_selected: Vec::with_capacity(usize::from(config.result_buses).max(4)),
+            bank_leader: vec![None; banks as usize],
+            leader_done: vec![0; banks as usize],
         }
     }
 
@@ -293,9 +331,12 @@ impl MalecInterface {
                 self.counters.wdu_lookups += 1;
                 self.wdu.as_mut().expect("WDU configured").lookup(line)
             }
-            WayDetermination::WayTables | WayDetermination::WayTablesNoFeedback => {
-                self.uwt.as_ref().expect("uWT configured").entry(utlb_slot).get(line_in_page)
-            }
+            WayDetermination::WayTables | WayDetermination::WayTablesNoFeedback => self
+                .uwt
+                .as_ref()
+                .expect("uWT configured")
+                .entry(utlb_slot)
+                .get(line_in_page),
         }
     }
 
@@ -337,15 +378,23 @@ impl MalecInterface {
         let line_in_page = (line.raw() % lines_per_page) as u8;
         let banks = self.config.l1.banks();
         let ways = self.config.l1.ways();
-        Some(WayId(
-            ((u32::from(line_in_page) / banks) % ways) as u8,
-        ))
+        Some(WayId(((u32::from(line_in_page) / banks) % ways) as u8))
     }
 
     /// Services this cycle's page group. Returns how many loads were
     /// serviced.
+    ///
+    /// Steady-state allocation-free: the group members, arbitration
+    /// candidates, selection list, per-bank leader slots and per-bank
+    /// completion cycles all live in buffers owned by `self` and reused
+    /// every cycle. The member/candidate/selection buffers are moved out
+    /// with `mem::take` for the duration of the call (a pointer swap, not
+    /// an allocation) so `self` methods stay callable, and moved back in
+    /// before returning.
     fn service_group(&mut self) -> usize {
-        let Some(group) = self.ib.select() else {
+        let mut group_loads = std::mem::take(&mut self.scratch_group);
+        let Some(group) = self.ib.select_into(&mut group_loads) else {
+            self.scratch_group = group_loads;
             return 0;
         };
         self.counters.input_buffer_compares += u64::from(group.compares);
@@ -364,29 +413,28 @@ impl MalecInterface {
         }
 
         // --- Arbitration: per-bank leaders, same-line merging, result-bus cap.
-        let banks = self.config.l1.banks() as usize;
         let window_bytes = 2 * self.config.l1.sub_block_bytes();
-        let infos: Vec<(MemOp, LineAddr, usize, u64)> = group
-            .loads
-            .iter()
-            .map(|op| {
-                let line = self.line_of(op, t.ppage);
-                let bank = self.config.l1.bank_of_line(line).0 as usize;
-                let window = (op.vaddr.raw() & (self.config.page.line_bytes() - 1)) / window_bytes;
-                (*op, line, bank, window)
-            })
-            .collect();
+        let mut infos = std::mem::take(&mut self.scratch_infos);
+        infos.clear();
+        for entry in &group_loads {
+            let op = entry.op;
+            let line = self.line_of(&op, t.ppage);
+            let bank = self.config.l1.bank_of_line(line).0 as usize;
+            let window = (op.vaddr.raw() & (self.config.page.line_bytes() - 1)) / window_bytes;
+            infos.push((op, line, bank, window));
+        }
 
-        let mut bank_leader: Vec<Option<usize>> = vec![None; banks];
+        self.bank_leader.fill(None);
         // (member index, leader index) — leader merges with itself.
-        let mut selected: Vec<(usize, usize)> = Vec::with_capacity(4);
+        let mut selected = std::mem::take(&mut self.scratch_selected);
+        selected.clear();
         for (i, info) in infos.iter().enumerate() {
             if selected.len() >= usize::from(self.config.result_buses) {
                 break;
             }
-            match bank_leader[info.2] {
+            match self.bank_leader[info.2] {
                 None => {
-                    bank_leader[info.2] = Some(i);
+                    self.bank_leader[info.2] = Some(i);
                     selected.push((i, i));
                 }
                 Some(li) => {
@@ -403,13 +451,14 @@ impl MalecInterface {
 
         // --- Execute one L1 access per bank leader.
         let mut serviced = 0usize;
-        let mut leader_done: std::collections::HashMap<usize, u64> =
-            std::collections::HashMap::new();
         for &(i, li) in &selected {
-            let (op, line, _bank, _window) = infos[i];
+            let (op, line, bank, _window) = infos[i];
             let done = if i == li {
                 let done = self.execute_load_access(t.utlb_slot, line, group_extra);
-                leader_done.insert(li, done);
+                // A merged member shares its leader's bank, so the leader's
+                // completion cycle is keyed by bank id — a fixed-size array
+                // instead of the per-pass HashMap this used to be.
+                self.leader_done[bank] = done;
                 done
             } else {
                 self.stats.merged_loads += 1;
@@ -418,13 +467,13 @@ impl MalecInterface {
                 if self.wdu.is_some() {
                     self.counters.wdu_lookups += 1;
                 }
-                leader_done[&li]
+                self.leader_done[bank]
             };
             // Narrow SB/MB comparators per access; the page segment is
             // shared below.
             self.counters.sb_lookups_narrow += 1;
             self.counters.mb_lookups_narrow += 1;
-            self.completions.push((done, op.id));
+            self.completions.push(done, op.id);
             self.ib.remove_load(op.id);
             self.stats.loads_serviced += 1;
             self.stats.group_loads += 1;
@@ -441,7 +490,7 @@ impl MalecInterface {
             if let Some(mbe) = self.ib.take_mbe() {
                 let line = self.line_of(&mbe, t.ppage);
                 let bank = self.config.l1.bank_of_line(line).0 as usize;
-                if bank_leader[bank].is_none() {
+                if self.bank_leader[bank].is_none() {
                     self.execute_mbe_write(t.utlb_slot, line);
                 } else {
                     // Bank busy: put it back for a later cycle.
@@ -450,6 +499,10 @@ impl MalecInterface {
                 }
             }
         }
+
+        self.scratch_group = group_loads;
+        self.scratch_infos = infos;
+        self.scratch_selected = selected;
         serviced
     }
 
@@ -504,15 +557,11 @@ impl MalecInterface {
         // MSHR semantics: an access to a line with an outstanding fill
         // completes no earlier than that fill.
         if outcome.l1_hit {
-            if let Some(&ready) = self.pending_fills.get(&line.raw()) {
-                if ready > self.cycle {
-                    done = done.max(ready);
-                } else {
-                    self.pending_fills.remove(&line.raw());
-                }
+            if let Some(ready) = self.pending_fills.ready_after(line.raw(), self.cycle) {
+                done = done.max(ready);
             }
         } else {
-            self.pending_fills.insert(line.raw(), done);
+            self.pending_fills.note_fill(line.raw(), done);
         }
         done
     }
@@ -560,8 +609,11 @@ impl MalecInterface {
         }
         if let Some(op) = self.sb.pop_committed() {
             if let Some(evicted) = self.mb.insert(op) {
-                self.pending_mbe
-                    .push_back(MemOp::merge_evict(evicted.rep.id, evicted.rep.vaddr, 16));
+                self.pending_mbe.push_back(MemOp::merge_evict(
+                    evicted.rep.id,
+                    evicted.rep.vaddr,
+                    16,
+                ));
             }
         }
     }
@@ -571,15 +623,9 @@ impl L1DataInterface for MalecInterface {
     fn tick(&mut self, cycle: u64, completed: &mut Vec<OpId>) {
         self.cycle = cycle;
 
-        // 1. Deliver due completions.
-        self.completions.retain(|&(due, id)| {
-            if due <= cycle {
-                completed.push(id);
-                false
-            } else {
-                true
-            }
-        });
+        // 1. Deliver due completions (min-heap pop instead of a full scan).
+        self.completions.drain_due(cycle, completed);
+        self.pending_fills.prune(cycle);
 
         // 2. Service this cycle's page group.
         self.service_group();
@@ -739,7 +785,11 @@ mod tests {
         i.offer_load(ld(1, 0x3010));
         run_until_done(&mut i, 601, 1);
         assert_eq!(i.stats().reduced_accesses, 2);
-        assert_eq!(i.counters().l1_tag_bank_reads, 1, "only the miss touched tags");
+        assert_eq!(
+            i.counters().l1_tag_bank_reads,
+            1,
+            "only the miss touched tags"
+        );
     }
 
     #[test]

@@ -130,7 +130,9 @@ impl Mmu {
 
     /// TLB slot currently holding `vpage` (no statistics side effects).
     pub fn tlb_slot_of_vpage(&self, vpage: VPageId) -> Option<usize> {
-        self.tlb.lookup_by_ppage(self.peek_translate(vpage)?).map(|(s, _)| s)
+        self.tlb
+            .lookup_by_ppage(self.peek_translate(vpage)?)
+            .map(|(s, _)| s)
     }
 
     /// Physical page for `vpage` if it is currently cached in the TLB
@@ -229,7 +231,9 @@ mod tests {
 
     #[test]
     fn translation_paths_have_increasing_latency() {
-        assert!(TranslationPath::MicroHit.extra_latency() < TranslationPath::TlbHit.extra_latency());
+        assert!(
+            TranslationPath::MicroHit.extra_latency() < TranslationPath::TlbHit.extra_latency()
+        );
         assert!(TranslationPath::TlbHit.extra_latency() < TranslationPath::Walk.extra_latency());
     }
 }

@@ -1,0 +1,158 @@
+//! Deterministic fork-join parallelism for independent simulation cells.
+//!
+//! Every `(benchmark, configuration)` cell of a sweep is a self-contained,
+//! seeded `Simulator::run` — no shared state, bit-reproducible output — so
+//! a sweep is embarrassingly parallel. The build environment has no access
+//! to crates.io (so no `rayon`); this module provides the one primitive the
+//! sweeps need on top of `std::thread::scope`: an order-preserving parallel
+//! map with atomic work-stealing over the item list.
+//!
+//! Results are written to the output slot matching the input index, so the
+//! output of [`parallel_map`] is **identical** to the serial
+//! `items.map(f).collect()` no matter how the items were interleaved across
+//! threads — determinism of the sweep matrix does not depend on scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Upper bound on worker threads (beyond this, memory bandwidth — not the
+/// core count — limits simulator throughput).
+const MAX_THREADS: usize = 32;
+
+/// The number of worker threads a parallel sweep will use.
+pub fn worker_count() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(MAX_THREADS)
+}
+
+/// Maps `f` over `items` in parallel, preserving input order in the output.
+///
+/// Spawns up to [`worker_count`] scoped threads which claim items through a
+/// shared atomic cursor (dynamic load balancing: simulation cells differ in
+/// cost by an order of magnitude between benchmarks). Falls back to a plain
+/// serial map for a single worker or a single item.
+///
+/// # Panics
+///
+/// Panics if any worker panicked (the scope joins all threads first and
+/// re-raises as "a scoped thread panicked"; the original message appears
+/// in the worker's own backtrace).
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = worker_count();
+    parallel_map_with(items, f, workers)
+}
+
+/// [`parallel_map`] with an explicit worker count (tests force multiple
+/// workers even on single-core machines; `0` and `1` both mean serial).
+pub fn parallel_map_with<T, R, F>(items: Vec<T>, f: F, workers: usize) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = workers.min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
+    results.resize_with(items.len(), || None);
+    let cursor = AtomicUsize::new(0);
+    let items = &items;
+    let f = &f;
+
+    // Hand each worker a disjoint set of output slots, discovered through
+    // the shared cursor. Slots are disjoint by construction (fetch_add), so
+    // the unsafe write below never aliases; the scope guarantees all writes
+    // complete before `results` is read again.
+    let results_ptr = SendPtr(results.as_mut_ptr());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let results_ptr = &results_ptr;
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let r = f(&items[i]);
+                    // SAFETY: `i` is unique to this worker (atomic
+                    // fetch_add), in bounds (checked above), and the slot
+                    // outlives the scope.
+                    unsafe {
+                        *results_ptr.0.add(i) = Some(r);
+                    }
+                }
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot written by exactly one worker"))
+        .collect()
+}
+
+/// Raw-pointer wrapper asserting cross-thread sendability for the disjoint
+/// slot writes above.
+struct SendPtr<T>(*mut T);
+
+// SAFETY: workers write disjoint indices and the pointee outlives the scope.
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+unsafe impl<T: Send> Send for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_values() {
+        // Force 4 workers so the threaded path runs even on 1-core boxes.
+        let items: Vec<u64> = (0..257).collect();
+        let out = parallel_map_with(items.clone(), |&x| x * x, 4);
+        let expected: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        assert_eq!(parallel_map(Vec::<u64>::new(), |&x| x), Vec::<u64>::new());
+        assert_eq!(parallel_map(vec![7u64], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn balances_uneven_work() {
+        // Items with wildly different costs still land in their own slots.
+        let items: Vec<u64> = (0..64).collect();
+        let out = parallel_map_with(
+            items,
+            |&x| {
+                let spins = if x % 7 == 0 { 10_000 } else { 10 };
+                (0..spins).fold(x, |acc, _| std::hint::black_box(acc))
+            },
+            4,
+        );
+        assert_eq!(out, (0..64).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "scoped thread panicked")]
+    fn worker_panic_propagates() {
+        let _ = parallel_map_with(
+            (0..128u64).collect(),
+            |&x| {
+                if x == 77 {
+                    panic!("worker boom");
+                }
+                x
+            },
+            4,
+        );
+    }
+}

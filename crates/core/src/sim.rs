@@ -18,10 +18,13 @@ use crate::malec::MalecInterface;
 use crate::metrics::RunSummary;
 
 /// Either interface implementation, dispatched by configuration.
+///
+/// Both variants are boxed: the interfaces are hundreds of bytes of
+/// configuration and buffers, and the enum is moved through `OoOCore`.
 #[derive(Debug)]
 pub enum AnyInterface {
     /// One of the two Table I baselines.
-    Baseline(BaselineInterface),
+    Baseline(Box<BaselineInterface>),
     /// The MALEC interface.
     Malec(Box<MalecInterface>),
 }
@@ -30,8 +33,10 @@ impl AnyInterface {
     /// Builds the interface matching `config.interface`.
     pub fn for_config(config: &SimConfig, seed: u64) -> Self {
         match config.interface {
-            InterfaceKind::Malec => AnyInterface::Malec(Box::new(MalecInterface::new(config, seed))),
-            _ => AnyInterface::Baseline(BaselineInterface::new(config, seed)),
+            InterfaceKind::Malec => {
+                AnyInterface::Malec(Box::new(MalecInterface::new(config, seed)))
+            }
+            _ => AnyInterface::Baseline(Box::new(BaselineInterface::new(config, seed))),
         }
     }
 }

@@ -10,6 +10,7 @@ use malec_types::config::SimConfig;
 use malec_types::geometry::CacheGeometry;
 
 use crate::metrics::RunSummary;
+use crate::parallel::parallel_map;
 use crate::sim::Simulator;
 use malec_trace::profile::BenchmarkProfile;
 
@@ -105,19 +106,22 @@ impl ParameterSweep {
             .collect()
     }
 
-    /// Runs every point of a sweep on one benchmark.
-    pub fn run(points: &[SweepPoint], profile: &BenchmarkProfile, insts: u64, seed: u64)
-        -> Vec<(String, RunSummary)>
-    {
-        points
-            .iter()
-            .map(|p| {
-                (
-                    p.label.clone(),
-                    Simulator::new(p.config.clone()).run(profile, insts, seed),
-                )
-            })
-            .collect()
+    /// Runs every point of a sweep on one benchmark, one point per worker
+    /// (each point is an independent seeded simulation; the output order
+    /// matches `points` no matter how the work was scheduled).
+    pub fn run(
+        points: &[SweepPoint],
+        profile: &BenchmarkProfile,
+        insts: u64,
+        seed: u64,
+    ) -> Vec<(String, RunSummary)> {
+        let points: Vec<&SweepPoint> = points.iter().collect();
+        parallel_map(points, |p| {
+            (
+                p.label.clone(),
+                Simulator::new(p.config.clone()).run(profile, insts, seed),
+            )
+        })
     }
 }
 

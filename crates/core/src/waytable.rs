@@ -48,7 +48,10 @@ impl WaySlots {
     /// Panics if any parameter is zero or `ways < 2` (2-bit encoding needs
     /// at least one representable way).
     pub fn new(lines: u32, banks: u32, ways: u32) -> Self {
-        assert!(lines > 0 && banks > 0 && ways >= 2, "degenerate way-slot geometry");
+        assert!(
+            lines > 0 && banks > 0 && ways >= 2,
+            "degenerate way-slot geometry"
+        );
         Self {
             codes: vec![UNKNOWN; lines as usize].into_boxed_slice(),
             banks: banks as u8,
@@ -125,7 +128,9 @@ impl MicroWayTable {
     /// Creates an all-unknown table with one entry per uTLB slot.
     pub fn new(slots: usize, lines: u32, banks: u32, ways: u32) -> Self {
         Self {
-            entries: (0..slots).map(|_| WaySlots::new(lines, banks, ways)).collect(),
+            entries: (0..slots)
+                .map(|_| WaySlots::new(lines, banks, ways))
+                .collect(),
         }
     }
 
@@ -160,7 +165,9 @@ impl WayTable {
     /// Creates an all-unknown table with one entry per TLB slot.
     pub fn new(slots: usize, lines: u32, banks: u32, ways: u32) -> Self {
         Self {
-            entries: (0..slots).map(|_| WaySlots::new(lines, banks, ways)).collect(),
+            entries: (0..slots)
+                .map(|_| WaySlots::new(lines, banks, ways))
+                .collect(),
         }
     }
 

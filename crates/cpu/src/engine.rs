@@ -107,6 +107,12 @@ pub struct OoOCore<I> {
     fe_resume_at: u64,
     stats: CoreStats,
     completed_buf: Vec<OpId>,
+    /// Issue candidates: absolute indices of not-yet-issued ROB entries in
+    /// program order. Issue walks this (typically short) list instead of
+    /// rescanning all 168 ROB entries every cycle; entries leave the moment
+    /// they issue and are compacted in place, so steady state allocates
+    /// nothing.
+    unissued: Vec<u64>,
 }
 
 impl<I: L1DataInterface> OoOCore<I> {
@@ -132,6 +138,7 @@ impl<I: L1DataInterface> OoOCore<I> {
             fe_resume_at: 0,
             stats: CoreStats::default(),
             completed_buf: Vec::with_capacity(8),
+            unissued: Vec::with_capacity(usize::from(config.rob_entries)),
         }
     }
 
@@ -239,6 +246,15 @@ impl<I: L1DataInterface> OoOCore<I> {
         }
     }
 
+    /// One issue pass over the unissued candidate list (program order).
+    ///
+    /// Behaviorally identical to scanning the whole ROB and skipping issued
+    /// entries — committed entries cannot appear here (commit requires a
+    /// `done_at`, which only issue or load completion sets), and entries
+    /// are appended in dispatch order — but the walk touches only the
+    /// entries that can still issue. Entries that issue this cycle are
+    /// dropped from the list by in-place compaction; everything else keeps
+    /// its (program-order) position.
     fn issue_cycle(&mut self) {
         let mut issued = 0usize;
         let mut alu_used = 0usize;
@@ -251,40 +267,48 @@ impl<I: L1DataInterface> OoOCore<I> {
         // would deadlock the buffer (it drains strictly in order).
         let mut older_store_unissued = false;
 
-        for pos in 0..self.rob.len() {
+        let mut kept = 0usize;
+        for u in 0..self.unissued.len() {
+            let idx = self.unissued[u];
+            // Issue width exhausted: everything further stays a candidate.
             if issued >= self.issue_width {
-                break;
+                self.unissued[kept] = idx;
+                kept += 1;
+                continue;
             }
+            let pos = (idx - self.rob_base) as usize;
             let e = self.rob[pos];
-            if e.issued {
-                continue;
-            }
-            if matches!(e.kind, EntryKind::Store) && older_store_unissued {
-                continue;
-            }
-            if !(self.dep_satisfied(e.deps[0]) && self.dep_satisfied(e.deps[1])) {
-                if matches!(e.kind, EntryKind::Store) {
+            debug_assert!(!e.issued, "issued entries leave the candidate list");
+            let is_store = matches!(e.kind, EntryKind::Store);
+            let deps_ok = !(is_store && older_store_unissued)
+                && self.dep_satisfied(e.deps[0])
+                && self.dep_satisfied(e.deps[1]);
+            if !deps_ok {
+                if is_store {
                     older_store_unissued = true;
                 }
+                self.unissued[kept] = idx;
+                kept += 1;
                 continue;
             }
-            let idx = self.rob_base + pos as u64;
+            let mut did_issue = false;
             match e.kind {
                 EntryKind::Op { latency } => {
-                    if alu_used >= ALU_UNITS {
-                        continue;
+                    if alu_used < ALU_UNITS {
+                        alu_used += 1;
+                        let entry = &mut self.rob[pos];
+                        entry.issued = true;
+                        entry.done_at = self.cycle + u64::from(latency);
+                        issued += 1;
+                        did_issue = true;
                     }
-                    alu_used += 1;
-                    let entry = &mut self.rob[pos];
-                    entry.issued = true;
-                    entry.done_at = self.cycle + u64::from(latency);
-                    issued += 1;
                 }
                 EntryKind::Branch { .. } => {
                     let entry = &mut self.rob[pos];
                     entry.issued = true;
                     entry.done_at = self.cycle + 1;
                     issued += 1;
+                    did_issue = true;
                     // A mispredicted branch resolves here: schedule the
                     // front-end restart (resolution + refill).
                     if self.fe_blocked_on == Some(idx) {
@@ -293,52 +317,68 @@ impl<I: L1DataInterface> OoOCore<I> {
                     }
                 }
                 EntryKind::Load => {
-                    if self.inflight_loads >= self.lq_entries {
-                        continue;
-                    }
-                    // Claim an AGU: prefer a load-only unit.
-                    if load_agus > 0 {
-                        load_agus -= 1;
-                    } else if shared_agus > 0 {
-                        shared_agus -= 1;
-                    } else {
-                        continue;
-                    }
-                    let op = e.mem.expect("load carries a MemOp");
-                    debug_assert_eq!(op.id, OpId(idx));
-                    if self.interface.offer_load(op).is_accepted() {
-                        let entry = &mut self.rob[pos];
-                        entry.issued = true;
-                        self.inflight_loads += 1;
-                        issued += 1;
-                    } else {
-                        // The AGU cycle is wasted (the paper stalls AGUs when
-                        // the Input Buffer is full).
-                        agu_stalled = true;
+                    if self.inflight_loads < self.lq_entries {
+                        // Claim an AGU: prefer a load-only unit.
+                        let have_agu = if load_agus > 0 {
+                            load_agus -= 1;
+                            true
+                        } else if shared_agus > 0 {
+                            shared_agus -= 1;
+                            true
+                        } else {
+                            false
+                        };
+                        if have_agu {
+                            let op = e.mem.expect("load carries a MemOp");
+                            debug_assert_eq!(op.id, OpId(idx));
+                            if self.interface.offer_load(op).is_accepted() {
+                                let entry = &mut self.rob[pos];
+                                entry.issued = true;
+                                self.inflight_loads += 1;
+                                issued += 1;
+                                did_issue = true;
+                            } else {
+                                // The AGU cycle is wasted (the paper stalls
+                                // AGUs when the Input Buffer is full).
+                                agu_stalled = true;
+                            }
+                        }
                     }
                 }
                 EntryKind::Store => {
-                    if store_agus > 0 {
+                    let have_agu = if store_agus > 0 {
                         store_agus -= 1;
+                        true
                     } else if shared_agus > 0 {
                         shared_agus -= 1;
+                        true
                     } else {
-                        older_store_unissued = true;
-                        continue;
-                    }
-                    let op = e.mem.expect("store carries a MemOp");
-                    if self.interface.offer_store(op).is_accepted() {
-                        let entry = &mut self.rob[pos];
-                        entry.issued = true;
-                        entry.done_at = self.cycle + 1;
-                        issued += 1;
+                        false
+                    };
+                    if have_agu {
+                        let op = e.mem.expect("store carries a MemOp");
+                        if self.interface.offer_store(op).is_accepted() {
+                            let entry = &mut self.rob[pos];
+                            entry.issued = true;
+                            entry.done_at = self.cycle + 1;
+                            issued += 1;
+                            did_issue = true;
+                        } else {
+                            agu_stalled = true;
+                            older_store_unissued = true;
+                        }
                     } else {
-                        agu_stalled = true;
                         older_store_unissued = true;
                     }
                 }
             }
+            if !did_issue {
+                self.unissued[kept] = idx;
+                kept += 1;
+            }
         }
+        self.unissued.truncate(kept);
+
         if agu_stalled {
             self.stats.agu_stall_cycles += 1;
         }
@@ -406,11 +446,9 @@ impl<I: L1DataInterface> OoOCore<I> {
                     issued: false,
                 },
             };
-            let is_mispredict = matches!(
-                entry.kind,
-                EntryKind::Branch { mispredicted: true }
-            );
+            let is_mispredict = matches!(entry.kind, EntryKind::Branch { mispredicted: true });
             self.rob.push_back(entry);
+            self.unissued.push(idx);
             if is_mispredict {
                 self.fe_blocked_on = Some(idx);
                 return false;
@@ -638,7 +676,10 @@ mod tests {
         let trace: Vec<TraceInst> = (0..600).map(|_| op()).collect();
         let (stats, _) = run_trace(trace, FixedLatency::new(2, 4));
         let ipc = stats.ipc();
-        assert!(ipc > 3.0, "independent ops should flow near dispatch width: {ipc}");
+        assert!(
+            ipc > 3.0,
+            "independent ops should flow near dispatch width: {ipc}"
+        );
         assert!(ipc <= 6.01);
     }
 }

@@ -106,8 +106,7 @@ impl EnergyModel {
     pub fn with_params(config: &SimConfig, params: SramParams) -> Self {
         let page_bits = u64::from(config.address_bits - config.page.page_offset_bits());
         let line_offset_bits = u64::from(config.page.line_offset_bits());
-        let in_page_line_bits =
-            u64::from(config.address_bits) - page_bits - line_offset_bits;
+        let in_page_line_bits = u64::from(config.address_bits) - page_bits - line_offset_bits;
         let cache_ports = config.cache_ports();
         let tlb_ports = config.tlb_ports();
         let tlb_read_ports = tlb_ports.read_capable();
@@ -216,10 +215,24 @@ impl EnergyModel {
         let sb_entries = u64::from(config.sb_entries);
         let mb_entries = u64::from(config.mb_entries);
         let sb_full = CamArray::new("SB lookup (full)", sb_entries, full_cmp_bits, 0, 1, params);
-        let sb_page = CamArray::new("SB lookup (page segment)", sb_entries, page_bits, 0, 1, params);
+        let sb_page = CamArray::new(
+            "SB lookup (page segment)",
+            sb_entries,
+            page_bits,
+            0,
+            1,
+            params,
+        );
         let sb_narrow = CamArray::new("SB lookup (narrow)", sb_entries, narrow_bits, 0, 1, params);
         let mb_full = CamArray::new("MB lookup (full)", mb_entries, full_cmp_bits, 0, 1, params);
-        let mb_page = CamArray::new("MB lookup (page segment)", mb_entries, page_bits, 0, 1, params);
+        let mb_page = CamArray::new(
+            "MB lookup (page segment)",
+            mb_entries,
+            page_bits,
+            0,
+            1,
+            params,
+        );
         let mb_narrow = CamArray::new("MB lookup (narrow)", mb_entries, narrow_bits, 0, 1, params);
 
         Self {
@@ -268,9 +281,8 @@ impl EnergyModel {
         let sub_write = self.l1_data_way.write_energy(self.sub_block_bits);
         let data_dyn = c.l1_data_subblock_reads as f64 * sub_read
             + c.l1_data_subblock_writes as f64 * sub_write;
-        let data_leak = self.l1_data_way.leakage_per_cycle()
-            * f64::from(self.l1_banks * self.l1_ways)
-            * cyc;
+        let data_leak =
+            self.l1_data_way.leakage_per_cycle() * f64::from(self.l1_banks * self.l1_ways) * cyc;
         structures.push(StructureEnergy {
             name: "L1 data arrays",
             dynamic: data_dyn,
@@ -285,7 +297,11 @@ impl EnergyModel {
             + c.utlb_fills as f64 * self.utlb.write_energy()
             + c.utlb_reverse_lookups as f64 * self.utlb_reverse.search_tags_only_energy();
         let utlb_leak = (self.utlb.leakage_per_cycle()
-            + if has_reverse { self.utlb_reverse.leakage_per_cycle() } else { 0.0 })
+            + if has_reverse {
+                self.utlb_reverse.leakage_per_cycle()
+            } else {
+                0.0
+            })
             * cyc;
         structures.push(StructureEnergy {
             name: "uTLB",
@@ -297,7 +313,11 @@ impl EnergyModel {
             + c.tlb_fills as f64 * self.tlb.write_energy()
             + c.tlb_reverse_lookups as f64 * self.tlb_reverse.search_tags_only_energy();
         let tlb_leak = (self.tlb.leakage_per_cycle()
-            + if has_reverse { self.tlb_reverse.leakage_per_cycle() } else { 0.0 })
+            + if has_reverse {
+                self.tlb_reverse.leakage_per_cycle()
+            } else {
+                0.0
+            })
             * cyc;
         structures.push(StructureEnergy {
             name: "TLB",
@@ -312,7 +332,7 @@ impl EnergyModel {
         // references to be serviced in parallel").
         let way_read_bits = u64::from(2 * self.l1_banks);
         if let Some(uwt) = &self.uwt {
-            let entry_bits = uwt.bits() / u64::from(self.utlb_entries);
+            let entry_bits = uwt.bits() / self.utlb_entries;
             let dynamic = c.uwt_reads as f64 * uwt.read_energy(way_read_bits)
                 + c.uwt_writes as f64 * uwt.write_energy(entry_bits)
                 + c.uwt_bit_updates as f64 * uwt.write_energy(2);
@@ -323,7 +343,7 @@ impl EnergyModel {
             });
         }
         if let Some(wt) = &self.wt {
-            let entry_bits = wt.bits() / u64::from(self.tlb_entries);
+            let entry_bits = wt.bits() / self.tlb_entries;
             let dynamic = c.wt_reads as f64 * wt.read_energy(way_read_bits)
                 + c.wt_writes as f64 * wt.write_energy(entry_bits)
                 + c.wt_bit_updates as f64 * wt.write_energy(2);
@@ -457,14 +477,17 @@ mod tests {
     #[test]
     fn wdu_lookups_cost_more_than_wt_reads() {
         let wt_cfg = SimConfig::malec();
-        let wdu_cfg =
-            SimConfig::malec().with_way_determination(WayDetermination::Wdu(16));
+        let wdu_cfg = SimConfig::malec().with_way_determination(WayDetermination::Wdu(16));
         let wt_model = EnergyModel::for_config(&wt_cfg);
         let wdu_model = EnergyModel::for_config(&wdu_cfg);
-        let mut wt_c = EnergyCounters::default();
-        wt_c.uwt_reads = 100;
-        let mut wdu_c = EnergyCounters::default();
-        wdu_c.wdu_lookups = 100;
+        let wt_c = EnergyCounters {
+            uwt_reads: 100,
+            ..Default::default()
+        };
+        let wdu_c = EnergyCounters {
+            wdu_lookups: 100,
+            ..Default::default()
+        };
         let wt_dyn = wt_model.evaluate(&wt_c, 0).dynamic;
         let wdu_dyn = wdu_model.evaluate(&wdu_c, 0).dynamic;
         assert!(
@@ -476,10 +499,12 @@ mod tests {
     #[test]
     fn excluded_structures_do_not_enter_totals() {
         let model = EnergyModel::for_config(&SimConfig::base1ldst());
-        let mut c = EnergyCounters::default();
-        c.sb_lookups_full = 1000;
-        c.mb_lookups_full = 1000;
-        c.input_buffer_compares = 1000;
+        let c = EnergyCounters {
+            sb_lookups_full: 1000,
+            mb_lookups_full: 1000,
+            input_buffer_compares: 1000,
+            ..Default::default()
+        };
         let b = model.evaluate(&c, 0);
         assert_eq!(b.dynamic, 0.0);
         assert!(b.excluded_dynamic > 0.0);
@@ -488,24 +513,30 @@ mod tests {
     #[test]
     fn split_sb_lookup_cheaper_than_full() {
         let model = EnergyModel::for_config(&SimConfig::malec());
-        let mut full = EnergyCounters::default();
-        full.sb_lookups_full = 4;
-        let mut split = EnergyCounters::default();
-        split.sb_lookups_page_segment = 1;
-        split.sb_lookups_narrow = 4;
+        let full = EnergyCounters {
+            sb_lookups_full: 4,
+            ..Default::default()
+        };
+        let split = EnergyCounters {
+            sb_lookups_page_segment: 1,
+            sb_lookups_narrow: 4,
+            ..Default::default()
+        };
         let ef = model.evaluate(&full, 0).excluded_dynamic;
         let es = model.evaluate(&split, 0).excluded_dynamic;
-        assert!(es < ef, "shared page segment should save energy: {es} vs {ef}");
+        assert!(
+            es < ef,
+            "shared page segment should save energy: {es} vs {ef}"
+        );
     }
 
     #[test]
     fn latency_variant_does_not_change_energy_model() {
         let c = one_access_counters();
         let a = EnergyModel::for_config(&SimConfig::malec()).evaluate(&c, 100);
-        let b = EnergyModel::for_config(
-            &SimConfig::malec().with_latency(LatencyVariant::ThreeCycle),
-        )
-        .evaluate(&c, 100);
+        let b =
+            EnergyModel::for_config(&SimConfig::malec().with_latency(LatencyVariant::ThreeCycle))
+                .evaluate(&c, 100);
         assert_eq!(a.dynamic, b.dynamic);
         assert_eq!(a.leakage, b.leakage);
     }

@@ -207,7 +207,10 @@ impl CamArray {
         search_ports: u8,
         params: SramParams,
     ) -> Self {
-        assert!(entries > 0 && tag_bits > 0, "CAM must have entries and tags");
+        assert!(
+            entries > 0 && tag_bits > 0,
+            "CAM must have entries and tags"
+        );
         Self {
             name,
             entries,

@@ -74,7 +74,10 @@ impl BackingMemory {
         } else {
             self.l2_misses += 1;
             self.l2.fill(set, tag, None);
-            (BackingOutcome::DramFill, self.l2_latency + self.dram_latency)
+            (
+                BackingOutcome::DramFill,
+                self.l2_latency + self.dram_latency,
+            )
         }
     }
 

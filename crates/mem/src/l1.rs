@@ -103,7 +103,9 @@ impl BankedL1 {
             let set_bits = self.geometry.sets_per_bank().trailing_zeros();
             let bank_bits = self.geometry.banks().trailing_zeros();
             LineAddr::new(
-                (etag << (set_bits + bank_bits)) | (u64::from(set) << bank_bits) | u64::from(bank.0),
+                (etag << (set_bits + bank_bits))
+                    | (u64::from(set) << bank_bits)
+                    | u64::from(bank.0),
             )
         });
         L1FillEvent {

@@ -62,7 +62,7 @@ pub struct WorkloadGenerator {
 impl WorkloadGenerator {
     /// Creates a generator for `profile` with the given seed.
     pub fn new(profile: &BenchmarkProfile, seed: u64) -> Self {
-        let mut h: u64 = seed ^ 0x51_7cc1_b727_220a_95;
+        let mut h: u64 = seed ^ 0x517c_c1b7_2722_0a95;
         for b in profile.name.bytes() {
             h = h.rotate_left(7) ^ u64::from(b);
         }
@@ -174,13 +174,12 @@ impl WorkloadGenerator {
         // (run start); every access of the run then depends on that same
         // pointer, so all of a node's field loads become ready together.
         if new_run {
-            self.streams[self.active].producer =
-                if self.rng.gen_bool(self.profile.addr_dep_prob) {
-                    let d = self.rng.gen_range(1..8u64).min(self.emitted);
-                    (d > 0).then(|| self.emitted - d)
-                } else {
-                    None
-                };
+            self.streams[self.active].producer = if self.rng.gen_bool(self.profile.addr_dep_prob) {
+                let d = self.rng.gen_range(1..8u64).min(self.emitted);
+                (d > 0).then(|| self.emitted - d)
+            } else {
+                None
+            };
         }
         let addr_dep = self.streams[self.active].producer.and_then(|p| {
             let dist = self.emitted - p;
@@ -337,8 +336,8 @@ mod tests {
             .filter_map(|i| i.vaddr())
             .map(|a| a.raw() >> 6)
             .collect();
-        let same = lines.windows(2).filter(|w| w[0] == w[1]).count() as f64
-            / (lines.len() - 1) as f64;
+        let same =
+            lines.windows(2).filter(|w| w[0] == w[1]).count() as f64 / (lines.len() - 1) as f64;
         assert!(same > 0.3, "equake same-line adjacency too low: {same}");
     }
 
@@ -350,8 +349,8 @@ mod tests {
             .filter_map(|i| i.vaddr())
             .map(|a| a.raw() >> 6)
             .collect();
-        let same = lines.windows(2).filter(|w| w[0] == w[1]).count() as f64
-            / (lines.len() - 1) as f64;
+        let same =
+            lines.windows(2).filter(|w| w[0] == w[1]).count() as f64 / (lines.len() - 1) as f64;
         assert!(same < 0.08, "mgrid should stride whole lines: {same}");
     }
 
@@ -383,9 +382,7 @@ mod tests {
             assert!(insts.iter().any(|i| i.is_load()), "{} no loads", p.name);
             assert!(insts.iter().any(|i| i.is_store()), "{} no stores", p.name);
             assert!(
-                insts
-                    .iter()
-                    .any(|i| matches!(i, TraceInst::Op { .. })),
+                insts.iter().any(|i| matches!(i, TraceInst::Op { .. })),
                 "{} no ops",
                 p.name
             );
@@ -396,7 +393,10 @@ mod tests {
     fn suite_ordering_of_dependency_density() {
         // MB2 streams should be less serialized than SPEC-INT on average.
         let avg_dep = |suite: Suite| {
-            let b: Vec<_> = all_benchmarks().into_iter().filter(|p| p.suite == suite).collect();
+            let b: Vec<_> = all_benchmarks()
+                .into_iter()
+                .filter(|p| p.suite == suite)
+                .collect();
             b.iter().map(|p| p.dep_prob).sum::<f64>() / b.len() as f64
         };
         assert!(avg_dep(Suite::MediaBench2) < avg_dep(Suite::SpecInt));

@@ -166,6 +166,7 @@ fn mb2(name: &'static str) -> BenchmarkProfile {
 
 /// All 38 benchmark profiles, in the paper's Fig. 4 order
 /// (12 SPEC-INT, 14 SPEC-FP, 12 MediaBench2).
+#[allow(clippy::vec_init_then_push)] // one push per profile reads best
 pub fn all_benchmarks() -> Vec<BenchmarkProfile> {
     let mut v = Vec::with_capacity(38);
 
@@ -511,13 +512,19 @@ mod tests {
 
     #[test]
     fn mgrid_uses_line_strides() {
-        let mgrid = all_benchmarks().into_iter().find(|b| b.name == "mgrid").unwrap();
+        let mgrid = all_benchmarks()
+            .into_iter()
+            .find(|b| b.name == "mgrid")
+            .unwrap();
         assert_eq!(mgrid.stride_bytes, 64, "one access per line => no merging");
     }
 
     #[test]
     fn gap_is_load_heavy_and_serialized() {
-        let gap = all_benchmarks().into_iter().find(|b| b.name == "gap").unwrap();
+        let gap = all_benchmarks()
+            .into_iter()
+            .find(|b| b.name == "gap")
+            .unwrap();
         assert!((gap.load_fraction() - 0.37).abs() < 0.01);
         assert!(gap.dep_prob >= 0.5);
     }

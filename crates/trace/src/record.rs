@@ -141,7 +141,10 @@ pub fn read_trace(r: &mut impl Read) -> io::Result<Vec<TraceInst>> {
     let mut header = [0u8; 5];
     r.read_exact(&mut header)?;
     if &header[..4] != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad trace magic"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad trace magic",
+        ));
     }
     if header[4] != VERSION {
         return Err(io::Error::new(
@@ -215,8 +218,7 @@ mod tests {
     #[test]
     fn roundtrip_generated_trace() {
         for profile in all_benchmarks().iter().take(4) {
-            let insts: Vec<TraceInst> =
-                WorkloadGenerator::new(profile, 9).take(5_000).collect();
+            let insts: Vec<TraceInst> = WorkloadGenerator::new(profile, 9).take(5_000).collect();
             let mut buf = Vec::new();
             write_trace(&mut buf, insts.iter().copied()).expect("write");
             let back = read_trace(&mut buf.as_slice()).expect("read");

@@ -164,11 +164,13 @@ mod tests {
 
     #[test]
     fn buckets_sum_to_one() {
-        let pages: Vec<VPageId> = [1, 1, 2, 3, 3, 3, 4, 1, 2, 2].iter().map(|&v| p(v)).collect();
+        let pages: Vec<VPageId> = [1, 1, 2, 3, 3, 3, 4, 1, 2, 2]
+            .iter()
+            .map(|&v| p(v))
+            .collect();
         for n in [0usize, 1, 2, 3] {
             let b = run_length_buckets(&pages, n);
-            let sum =
-                b.single + b.pair + b.three_to_four + b.five_to_eight + b.more_than_eight;
+            let sum = b.single + b.pair + b.three_to_four + b.five_to_eight + b.more_than_eight;
             assert!((sum - 1.0).abs() < 1e-9, "n={n}: sum={sum}");
         }
     }
@@ -178,7 +180,10 @@ mod tests {
         let pages: Vec<VPageId> = (0..500).map(|i| p((i * 7) % 13)).collect();
         let ratios = page_locality_ratios(&pages, &[0, 1, 2, 3, 4, 8]);
         for w in ratios.windows(2) {
-            assert!(w[0] <= w[1] + 1e-9, "ratios must be non-decreasing: {ratios:?}");
+            assert!(
+                w[0] <= w[1] + 1e-9,
+                "ratios must be non-decreasing: {ratios:?}"
+            );
         }
     }
 
@@ -268,7 +273,10 @@ mod tests {
         // same line. Check the workload population lands in a sane band.
         let mut total = 0.0;
         let mut n = 0.0;
-        for prof in all_benchmarks().into_iter().filter(|b| b.suite != Suite::SpecFp) {
+        for prof in all_benchmarks()
+            .into_iter()
+            .filter(|b| b.suite != Suite::SpecFp)
+        {
             let lines: Vec<u64> = WorkloadGenerator::new(&prof, 9)
                 .take(30_000)
                 .filter(|i| i.is_load())

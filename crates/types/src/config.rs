@@ -404,7 +404,9 @@ impl SimConfig {
             return Err(ConfigError::new("pipeline widths must be nonzero"));
         }
         if self.l1.line_bytes() != self.page.line_bytes() {
-            return Err(ConfigError::new("L1 and page geometry disagree on line size"));
+            return Err(ConfigError::new(
+                "L1 and page geometry disagree on line size",
+            ));
         }
         if self.l2.line_bytes() != self.l1.line_bytes() {
             return Err(ConfigError::new("L1 and L2 must share a line size"));

@@ -185,7 +185,10 @@ impl CacheGeometry {
             ));
         }
         let sub_block_bytes = u64::from(sub_block_bits) / 8;
-        if sub_block_bits % 8 != 0 || sub_block_bytes == 0 || line_bytes % sub_block_bytes != 0 {
+        if !sub_block_bits.is_multiple_of(8)
+            || sub_block_bytes == 0
+            || !line_bytes.is_multiple_of(sub_block_bytes)
+        {
             return Err(ConfigError::new("sub-block must evenly divide the line"));
         }
         let lines = total_bytes / line_bytes;
@@ -336,7 +339,7 @@ mod tests {
     #[test]
     fn page_slicing() {
         let g = PageGeometry::default();
-        let a = VAddr::new(0x0001_2fC4);
+        let a = VAddr::new(0x0001_2fc4);
         assert_eq!(g.vpage_of(a).raw(), 0x12);
         assert_eq!(g.line_in_page(a.raw()), (0xfc4 >> 6) as u8);
         assert_eq!(g.offset_in_line(a.raw()), 0x04);

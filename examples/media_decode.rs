@@ -7,13 +7,14 @@
 //! cargo run -p malec-harness --example media_decode --release
 //! ```
 
-use malec_harness::{
-    benchmarks_of, LatencyVariant, SimConfig, Simulator, Suite,
-};
+use malec_harness::{benchmarks_of, LatencyVariant, SimConfig, Simulator, Suite};
 
 fn main() {
     let insts = 50_000;
-    println!("MediaBench2-style decode kernels, {} instructions each\n", insts);
+    println!(
+        "MediaBench2-style decode kernels, {} instructions each\n",
+        insts
+    );
     println!(
         "{:<12} {:>10} {:>10} {:>10} {:>10} {:>9} {:>8}",
         "benchmark", "Base1ldst", "Base2ld1st", "MALEC", "MALEC_3cyc", "merge[%]", "cov[%]"
@@ -25,10 +26,8 @@ fn main() {
         let base1 = Simulator::new(SimConfig::base1ldst()).run(&profile, insts, 3);
         let base2 = Simulator::new(SimConfig::base2ld1st()).run(&profile, insts, 3);
         let malec = Simulator::new(SimConfig::malec()).run(&profile, insts, 3);
-        let malec3 = Simulator::new(
-            SimConfig::malec().with_latency(LatencyVariant::ThreeCycle),
-        )
-        .run(&profile, insts, 3);
+        let malec3 = Simulator::new(SimConfig::malec().with_latency(LatencyVariant::ThreeCycle))
+            .run(&profile, insts, 3);
         let pct = |c: u64| 100.0 * c as f64 / base1.core.cycles as f64;
         println!(
             "{:<12} {:>9.1}% {:>9.1}% {:>9.1}% {:>9.1}% {:>8.1} {:>7.1}",

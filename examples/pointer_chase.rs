@@ -22,9 +22,18 @@ fn main() {
         Simulator::new(SimConfig::malec().with_load_merging(false)).run(&mcf, insts, 5);
 
     println!("mcf-style pointer chasing, {} instructions\n", insts);
-    println!("L1 miss rate:            {:5.1}%  (the paper's ~7x-average outlier)", 100.0 * malec.l1_miss_rate);
-    println!("way-table coverage:      {:5.1}%  (streaming hurts way prediction)", 100.0 * malec.interface.coverage());
-    println!("merged loads:            {:5.1}%  (fields of one node share a line)", 100.0 * malec.interface.merge_ratio());
+    println!(
+        "L1 miss rate:            {:5.1}%  (the paper's ~7x-average outlier)",
+        100.0 * malec.l1_miss_rate
+    );
+    println!(
+        "way-table coverage:      {:5.1}%  (streaming hurts way prediction)",
+        100.0 * malec.interface.coverage()
+    );
+    println!(
+        "merged loads:            {:5.1}%  (fields of one node share a line)",
+        100.0 * malec.interface.merge_ratio()
+    );
     println!();
     println!(
         "dynamic energy vs Base1ldst:   with merging {:6.1}%   without {:6.1}%",

@@ -14,7 +14,10 @@ fn main() {
         .expect("gzip profile exists");
     let insts = 60_000;
 
-    println!("simulating {} instructions of `{}` …\n", insts, profile.name);
+    println!(
+        "simulating {} instructions of `{}` …\n",
+        insts, profile.name
+    );
     let base1 = Simulator::new(SimConfig::base1ldst()).run(&profile, insts, 1);
     let base2 = Simulator::new(SimConfig::base2ld1st()).run(&profile, insts, 1);
     let malec = Simulator::new(SimConfig::malec()).run(&profile, insts, 1);

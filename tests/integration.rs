@@ -63,10 +63,8 @@ fn way_determination_schemes_do_not_change_timing_relevant_residency() {
     // only the fill restriction may move it marginally).
     let p = profile("gzip");
     let wt = Simulator::new(SimConfig::malec()).run(&p, 15_000, 3);
-    let wdu = Simulator::new(
-        SimConfig::malec().with_way_determination(WayDetermination::Wdu(16)),
-    )
-    .run(&p, 15_000, 3);
+    let wdu = Simulator::new(SimConfig::malec().with_way_determination(WayDetermination::Wdu(16)))
+        .run(&p, 15_000, 3);
     assert!(
         (wt.l1_miss_rate - wdu.l1_miss_rate).abs() < 0.02,
         "wt {} vs wdu {}",
@@ -79,10 +77,8 @@ fn way_determination_schemes_do_not_change_timing_relevant_residency() {
 #[test]
 fn latency_variants_order_execution_time() {
     let p = profile("gap");
-    let fast = Simulator::new(
-        SimConfig::base2ld1st().with_latency(LatencyVariant::OneCycle),
-    )
-    .run(&p, 20_000, 3);
+    let fast = Simulator::new(SimConfig::base2ld1st().with_latency(LatencyVariant::OneCycle))
+        .run(&p, 20_000, 3);
     let mid = Simulator::new(SimConfig::base2ld1st()).run(&p, 20_000, 3);
     assert!(
         fast.core.cycles < mid.core.cycles,
@@ -91,10 +87,8 @@ fn latency_variants_order_execution_time() {
         mid.core.cycles
     );
     let m2 = Simulator::new(SimConfig::malec()).run(&p, 20_000, 3);
-    let m3 = Simulator::new(
-        SimConfig::malec().with_latency(LatencyVariant::ThreeCycle),
-    )
-    .run(&p, 20_000, 3);
+    let m3 = Simulator::new(SimConfig::malec().with_latency(LatencyVariant::ThreeCycle))
+        .run(&p, 20_000, 3);
     assert!(
         m2.core.cycles < m3.core.cycles,
         "2-cycle MALEC must beat 3-cycle: {} vs {}",

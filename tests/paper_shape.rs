@@ -42,12 +42,12 @@ fn sweep() -> Sweep {
     }
 }
 
-fn norm(series: &[malec_harness::RunSummary], base: &[malec_harness::RunSummary], f: impl Fn(&malec_harness::RunSummary) -> f64) -> f64 {
-    let ratios: Vec<f64> = series
-        .iter()
-        .zip(base)
-        .map(|(s, b)| f(s) / f(b))
-        .collect();
+fn norm(
+    series: &[malec_harness::RunSummary],
+    base: &[malec_harness::RunSummary],
+    f: impl Fn(&malec_harness::RunSummary) -> f64,
+) -> f64 {
+    let ratios: Vec<f64> = series.iter().zip(base).map(|(s, b)| f(s) / f(b)).collect();
     geo_mean(&ratios)
 }
 
@@ -92,7 +92,12 @@ fn headline_shape_performance_and_energy() {
 fn mcf_is_the_miss_and_speedup_outlier() {
     let benches = subset();
     let s = sweep();
-    let idx = |name: &str| benches.iter().position(|b| b.name == name).expect("in subset");
+    let idx = |name: &str| {
+        benches
+            .iter()
+            .position(|b| b.name == name)
+            .expect("in subset")
+    };
     let mcf = idx("mcf");
 
     // ~7x the average miss rate. The subset deliberately includes the other
@@ -133,7 +138,12 @@ fn mcf_is_the_miss_and_speedup_outlier() {
 fn media_decoders_show_the_biggest_gains() {
     let benches = subset();
     let s = sweep();
-    let idx = |name: &str| benches.iter().position(|b| b.name == name).expect("in subset");
+    let idx = |name: &str| {
+        benches
+            .iter()
+            .position(|b| b.name == name)
+            .expect("in subset")
+    };
     let speedup = |i: usize| s.base1[i].core.cycles as f64 / s.malec[i].core.cycles as f64;
     // djpeg/h263dec ≈ 30% in the paper; at minimum they must beat the
     // subset's non-media benchmarks.
@@ -167,15 +177,22 @@ fn way_table_coverage_beats_every_wdu() {
     let wdu32 = coverage(WayDetermination::Wdu(32));
     assert!(wt > 0.85, "WT coverage should be high: {wt}");
     assert!(wt >= wt_nofb, "feedback can only help: {wt} vs {wt_nofb}");
-    assert!(wt > wdu32 && wdu32 >= wdu16 && wdu16 >= wdu8,
-        "coverage ordering broken: wt={wt} wdu32={wdu32} wdu16={wdu16} wdu8={wdu8}");
+    assert!(
+        wt > wdu32 && wdu32 >= wdu16 && wdu16 >= wdu8,
+        "coverage ordering broken: wt={wt} wdu32={wdu32} wdu16={wdu16} wdu8={wdu8}"
+    );
 }
 
 #[test]
 fn mgrid_gets_no_merging_but_equake_does() {
     let benches = subset();
     let s = sweep();
-    let idx = |name: &str| benches.iter().position(|b| b.name == name).expect("in subset");
+    let idx = |name: &str| {
+        benches
+            .iter()
+            .position(|b| b.name == name)
+            .expect("in subset")
+    };
     let mgrid = s.malec[idx("mgrid")].interface.merge_ratio();
     let equake = s.malec[idx("equake")].interface.merge_ratio();
     assert!(mgrid < 0.03, "line-stride mgrid must not merge: {mgrid}");
@@ -189,8 +206,7 @@ fn merging_is_what_saves_mcf_energy() {
         .find(|b| b.name == "mcf")
         .expect("mcf exists");
     let with = Simulator::new(SimConfig::malec()).run(&p, INSTS, SEED);
-    let without =
-        Simulator::new(SimConfig::malec().with_load_merging(false)).run(&p, INSTS, SEED);
+    let without = Simulator::new(SimConfig::malec().with_load_merging(false)).run(&p, INSTS, SEED);
     assert!(
         with.energy.dynamic < without.energy.dynamic,
         "merging must save mcf dynamic energy: {} vs {}",

@@ -3,8 +3,8 @@
 //! floods, page thrash, branch storms, dependency chains), where bugs like
 //! buffer deadlocks and lost completions would hide.
 
-use malec_cpu::OoOCore;
 use malec_core::sim::AnyInterface;
+use malec_cpu::OoOCore;
 use malec_harness::SimConfig;
 use malec_trace::TraceInst;
 use malec_types::addr::VAddr;
@@ -145,7 +145,10 @@ fn no_memory_trace_is_pure_frontend() {
     }
     let a = run(&SimConfig::base1ldst(), trace.clone());
     let b = run(&SimConfig::malec(), trace);
-    assert_eq!(a.cycles, b.cycles, "non-memory code must be interface-neutral");
+    assert_eq!(
+        a.cycles, b.cycles,
+        "non-memory code must be interface-neutral"
+    );
 }
 
 #[test]

@@ -110,12 +110,16 @@ proptest! {
     ) {
         use malec_energy::{EnergyCounters, EnergyModel};
         let model = EnergyModel::for_config(&SimConfig::malec());
-        let mut ca = EnergyCounters::default();
-        ca.l1_data_subblock_reads = a_reads;
-        ca.l1_tag_bank_reads = a_tags;
-        let mut cb = EnergyCounters::default();
-        cb.l1_data_subblock_reads = b_reads;
-        cb.l1_tag_bank_reads = b_tags;
+        let ca = EnergyCounters {
+            l1_data_subblock_reads: a_reads,
+            l1_tag_bank_reads: a_tags,
+            ..Default::default()
+        };
+        let cb = EnergyCounters {
+            l1_data_subblock_reads: b_reads,
+            l1_tag_bank_reads: b_tags,
+            ..Default::default()
+        };
         let separate = model.evaluate(&ca, cycles_a).total() + model.evaluate(&cb, cycles_b).total();
         let combined = model.evaluate(&(ca + cb), cycles_a + cycles_b).total();
         prop_assert!((separate - combined).abs() < 1e-6 * combined.max(1.0));

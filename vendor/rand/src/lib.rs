@@ -1,0 +1,175 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment cannot reach crates.io, so this crate implements
+//! exactly the subset the workspace uses: [`rngs::SmallRng`] (xoshiro256++,
+//! the same algorithm real `rand 0.8` uses on 64-bit targets, seeded with
+//! SplitMix64 like `SeedableRng::seed_from_u64`), the [`Rng`] extension
+//! methods `gen_range` (half-open integer and float ranges) and `gen_bool`,
+//! and the [`SeedableRng`] constructor trait.
+//!
+//! Determinism is the only contract the simulator relies on: identical
+//! seeds yield identical streams on every platform, forever. Statistical
+//! quality is inherited from xoshiro256++.
+
+use std::ops::Range;
+
+/// Random number generators.
+pub mod rngs {
+    /// A small, fast, deterministic generator (xoshiro256++).
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        pub(crate) s: [u64; 4],
+    }
+
+    impl SmallRng {
+        #[inline]
+        pub(crate) fn next_u64_impl(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Seeding constructors.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+impl SeedableRng for rngs::SmallRng {
+    fn seed_from_u64(state: u64) -> Self {
+        // SplitMix64 expansion of the 64-bit seed into the 256-bit state,
+        // as recommended by the xoshiro authors (and done by real rand).
+        let mut sm = state;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        rngs::SmallRng { s }
+    }
+}
+
+/// Types `gen_range` can sample uniformly from a half-open range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Samples uniformly from `[lo, hi)` using `bits` (a fresh 64-bit word).
+    fn from_bits(bits: u64, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn from_bits(bits: u64, lo: Self, hi: Self) -> Self {
+                let span = (hi as u128) - (lo as u128);
+                debug_assert!(span > 0, "gen_range requires a non-empty range");
+                // Widening multiply: maps the 64-bit word onto [0, span)
+                // without modulo bias worth caring about at these spans.
+                let off = ((bits as u128 * span) >> 64) as u64;
+                lo + off as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize);
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn from_bits(bits: u64, lo: Self, hi: Self) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + (hi - lo) * unit
+    }
+}
+
+/// The generator extension methods the workspace uses.
+pub trait Rng {
+    /// The next raw 64-bit word of the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from the half-open `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the range is empty.
+    #[inline]
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        let bits = self.next_u64();
+        T::from_bits(bits, range.start, range.end)
+    }
+
+    /// Returns `true` with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "probability out of range");
+        ((self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)) < p
+    }
+}
+
+impl Rng for rngs::SmallRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.next_u64_impl()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn identical_seeds_identical_streams() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = r.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let u = r.gen_range(0usize..3);
+            assert!(u < 3);
+            let f = r.gen_range(f64::EPSILON..1.0);
+            assert!((f64::EPSILON..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = SmallRng::seed_from_u64(4);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "got {hits}");
+        assert!((0..100).all(|_| !r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+}

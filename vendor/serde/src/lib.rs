@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io, and nothing in this
+//! workspace actually serializes through serde — the derives exist so the
+//! public types keep the conventional API shape. This crate provides the
+//! `Serialize`/`Deserialize` names in both the macro namespace (no-op
+//! derives from the sibling `serde_derive` stub) and the trait namespace,
+//! so `use serde::{Deserialize, Serialize}` behaves as with the real crate.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (never used as a bound here).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (never used as a bound here).
+pub trait Deserialize<'de> {}
