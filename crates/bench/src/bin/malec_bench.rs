@@ -3,24 +3,28 @@
 //! Runs a fixed workload (the three Table I configurations × eight
 //! representative benchmarks at `DEFAULT_INSTS` instructions, fixed seed)
 //! twice — once through the serial sweep path, once through the parallel
-//! one — and:
+//! one — plus the scenario workload (the five preset scenarios ×
+//! {Base1ldst, MALEC} at `SCENARIO_INSTS`), and:
 //!
 //! 1. asserts the parallel matrix is **bit-identical** to the serial one;
-//! 2. asserts both match the recorded pre-optimization golden digests
-//!    (`malec_bench::goldens`), so hot-path rewrites provably preserve
-//!    simulated behavior;
+//! 2. asserts both — and the scenario cells — match the recorded golden
+//!    digests (`malec_bench::goldens`), so hot-path rewrites provably
+//!    preserve simulated behavior;
 //! 3. writes wall-clock and cells/sec for both paths to
 //!    `BENCH_simulator.json` at the workspace root, tracking the perf
 //!    trajectory from PR 1 onward.
 //!
-//! Flags: `--record` prints a fresh `GOLDEN_DIGESTS` table instead of
-//! checking (use only after an intentional behavior change).
+//! Flags: `--record` prints fresh `GOLDEN_DIGESTS` /
+//! `SCENARIO_GOLDEN_DIGESTS` tables instead of checking (use only after an
+//! intentional behavior change).
 
 use std::time::Instant;
 
-use malec_bench::goldens::{digest, BENCH_BENCHMARKS, GOLDEN_DIGESTS};
+use malec_bench::goldens::{
+    digest, run_scenario_cells, BENCH_BENCHMARKS, GOLDEN_DIGESTS, SCENARIO_GOLDEN_DIGESTS,
+};
 use malec_bench::{run_matrix_on, run_matrix_serial_on, DEFAULT_INSTS};
-use malec_core::parallel::worker_count;
+use malec_core::parallel::workers_used;
 use malec_core::RunSummary;
 use malec_trace::all_benchmarks;
 use malec_trace::profile::BenchmarkProfile;
@@ -88,6 +92,37 @@ fn record_goldens(matrix: &[Vec<RunSummary>]) {
     println!("];");
 }
 
+fn check_scenario_goldens(cells: &[RunSummary]) {
+    assert_eq!(
+        SCENARIO_GOLDEN_DIGESTS.len(),
+        cells.len(),
+        "scenario golden table must cover every cell (re-record with --record)"
+    );
+    for (cell, &(scenario, config, want)) in cells.iter().zip(SCENARIO_GOLDEN_DIGESTS) {
+        assert_eq!(cell.benchmark, scenario, "scenario cell order drifted");
+        assert_eq!(cell.config, config, "scenario cell order drifted");
+        let got = digest(cell);
+        assert_eq!(
+            got, want,
+            "{scenario}/{config}: scenario behavior diverged from the recorded golden \
+             (digest {got:#018x} != {want:#018x})"
+        );
+    }
+}
+
+fn record_scenario_goldens(cells: &[RunSummary]) {
+    println!("pub const SCENARIO_GOLDEN_DIGESTS: &[(&str, &str, u64)] = &[");
+    for cell in cells {
+        println!(
+            "    (\"{}\", \"{}\", {:#018x}),",
+            cell.benchmark,
+            cell.config,
+            digest(cell)
+        );
+    }
+    println!("];");
+}
+
 fn json_str_list<S: AsRef<str>>(items: impl Iterator<Item = S>) -> String {
     let body = items
         .map(|s| format!("\"{}\"", s.as_ref()))
@@ -96,9 +131,12 @@ fn json_str_list<S: AsRef<str>>(items: impl Iterator<Item = S>) -> String {
     format!("[{body}]")
 }
 
+#[allow(clippy::too_many_arguments)] // one artifact, many facts
 fn write_json(
     path: &str,
     matrix: &[Vec<RunSummary>],
+    scenario_cells: &[RunSummary],
+    scenario_s: f64,
     workers: usize,
     serial_s: f64,
     parallel_s: f64,
@@ -110,17 +148,28 @@ fn write_json(
     // disagree with the cells it describes.
     let config_list = json_str_list(matrix[0].iter().map(|s| s.config.as_str()));
     let bench_list = json_str_list(BENCH_BENCHMARKS.iter());
+    let scenario_list = json_str_list(
+        scenario_cells
+            .iter()
+            .map(|s| s.benchmark.as_str())
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter(),
+    );
     let note = if workers == 1 {
         "single-core host: parallel speedup is not observable here; the >=2x requirement is enforced on hosts with >=4 workers"
     } else {
         "speedup requirement enforced at >=4 workers"
     };
     let json = format!(
-        "{{\n  \"bench\": \"malec_sweep_matrix\",\n  \"workload\": {{\n    \"configs\": {},\n    \"benchmarks\": {},\n    \"insts_per_cell\": {},\n    \"cells\": {}\n  }},\n  \"workers\": {},\n  \"serial\": {{ \"wall_seconds\": {:.4}, \"cells_per_sec\": {:.3} }},\n  \"parallel\": {{ \"wall_seconds\": {:.4}, \"cells_per_sec\": {:.3} }},\n  \"speedup\": {:.3},\n  \"note\": \"{}\",\n  \"golden_digests\": \"{}\"\n}}\n",
+        "{{\n  \"bench\": \"malec_sweep_matrix\",\n  \"workload\": {{\n    \"configs\": {},\n    \"benchmarks\": {},\n    \"insts_per_cell\": {},\n    \"cells\": {}\n  }},\n  \"scenarios\": {{\n    \"names\": {},\n    \"insts_per_cell\": {},\n    \"cells\": {},\n    \"wall_seconds\": {:.4}\n  }},\n  \"workers\": {},\n  \"serial\": {{ \"wall_seconds\": {:.4}, \"cells_per_sec\": {:.3} }},\n  \"parallel\": {{ \"wall_seconds\": {:.4}, \"cells_per_sec\": {:.3} }},\n  \"speedup\": {:.3},\n  \"note\": \"{}\",\n  \"golden_digests\": \"{}\"\n}}\n",
         config_list,
         bench_list,
         DEFAULT_INSTS,
         cells,
+        scenario_list,
+        malec_bench::goldens::SCENARIO_INSTS,
+        scenario_cells.len(),
+        scenario_s,
         workers,
         serial_s,
         cells as f64 / serial_s,
@@ -138,7 +187,10 @@ fn main() {
     let configs = configs();
     let benchmarks = benchmarks();
     let cells = configs.len() * benchmarks.len();
-    let workers = worker_count();
+    // What the parallel matrix actually runs with: available parallelism,
+    // capped by the cell count (previously this quoted the raw host
+    // parallelism, which overstates small sweeps on big machines).
+    let workers = workers_used(cells);
 
     eprintln!(
         "malec-bench: {cells} cells ({} configs x {} benchmarks) at {DEFAULT_INSTS} insts, \
@@ -176,17 +228,41 @@ fn main() {
         );
     }
 
+    let t = Instant::now();
+    let scenario_cells = run_scenario_cells();
+    let scenario_s = t.elapsed().as_secs_f64();
+    eprintln!(
+        "  scenarios: {scenario_s:.3}s  ({} cells at {} insts)",
+        scenario_cells.len(),
+        malec_bench::goldens::SCENARIO_INSTS
+    );
+
     let golden_status = if record {
         record_goldens(&serial);
+        record_scenario_goldens(&scenario_cells);
         "recorded"
     } else {
         check_goldens(&serial);
-        eprintln!("  goldens:  ok ({} digests)", GOLDEN_DIGESTS.len());
+        check_scenario_goldens(&scenario_cells);
+        eprintln!(
+            "  goldens:  ok ({} benchmark + {} scenario digests)",
+            GOLDEN_DIGESTS.len(),
+            SCENARIO_GOLDEN_DIGESTS.len()
+        );
         "ok"
     };
 
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_simulator.json");
-    write_json(out, &serial, workers, serial_s, parallel_s, golden_status);
+    write_json(
+        out,
+        &serial,
+        &scenario_cells,
+        scenario_s,
+        workers,
+        serial_s,
+        parallel_s,
+        golden_status,
+    );
     eprintln!("  wrote {out}");
 
     if workers >= REQUIRED_SPEEDUP_MIN_WORKERS {

@@ -17,7 +17,11 @@
 //!
 //! and replace the [`GOLDEN_DIGESTS`] table with the printed one.
 
-use malec_core::RunSummary;
+use malec_core::parallel::parallel_map;
+use malec_core::{RunSummary, ScenarioSource, Simulator};
+use malec_trace::scenario::presets;
+use malec_trace::Scenario;
+use malec_types::SimConfig;
 
 /// The eight representative benchmarks of the fixed workload: four
 /// SPEC-INT (incl. the `mcf` miss-rate outlier), two SPEC-FP, two
@@ -25,6 +29,41 @@ use malec_core::RunSummary;
 pub const BENCH_BENCHMARKS: [&str; 8] = [
     "gzip", "mcf", "gap", "twolf", "swim", "art", "djpeg", "h263dec",
 ];
+
+/// Instructions per scenario golden cell (scenarios mix phases, so they
+/// need a few phase cycles to express their structure; still cheap enough
+/// for every CI run).
+pub const SCENARIO_INSTS: u64 = 40_000;
+
+/// The configurations each scenario golden cell runs under: the energy
+/// baseline and MALEC (the pair whose *relationship* the adversarial
+/// patterns are designed to stress).
+pub fn scenario_configs() -> Vec<SimConfig> {
+    vec![SimConfig::base1ldst(), SimConfig::malec()]
+}
+
+/// The scenario golden workload: every preset scenario under every
+/// [`scenario_configs`] entry, scenario-major, at [`SCENARIO_INSTS`]
+/// instructions and the fixed [`crate::DEFAULT_SEED`].
+pub fn run_scenario_cells() -> Vec<RunSummary> {
+    let cells: Vec<(Scenario, SimConfig)> = presets()
+        .into_iter()
+        .flat_map(|s| {
+            scenario_configs()
+                .into_iter()
+                .map(move |cfg| (s.clone(), cfg))
+        })
+        .collect();
+    parallel_map(cells, |(scenario, cfg)| {
+        Simulator::new(cfg.clone())
+            .run_source(
+                &ScenarioSource::Scenario(scenario.clone()),
+                SCENARIO_INSTS,
+                crate::DEFAULT_SEED,
+            )
+            .expect("generator sources cannot fail")
+    })
+}
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x100_0000_01b3;
@@ -146,6 +185,23 @@ pub const GOLDEN_DIGESTS: &[(&str, &str, u64)] = &[
     ("h263dec", "MALEC", 0xee45a3856c04bb41),
 ];
 
+/// `(scenario, config label, digest)` per cell of the scenario workload
+/// ([`run_scenario_cells`] order). Recorded at [`SCENARIO_INSTS`]
+/// instructions, [`crate::DEFAULT_SEED`] seed; refresh with
+/// `malec-bench -- --record` after an intentional behavior change.
+pub const SCENARIO_GOLDEN_DIGESTS: &[(&str, &str, u64)] = &[
+    ("phased_compress_decode", "Base1ldst", 0xd2bc356cf4edc460),
+    ("phased_compress_decode", "MALEC", 0x7d15453dd09fbd03),
+    ("mixed_int_media_thrash", "Base1ldst", 0x00cdd3f89153b26f),
+    ("mixed_int_media_thrash", "MALEC", 0x254a3282748ee789),
+    ("tlb_thrash", "Base1ldst", 0xce2390c5823f382a),
+    ("tlb_thrash", "MALEC", 0xd89d3ce8a28a5ca5),
+    ("bank_conflict", "Base1ldst", 0xbbcf1796699b1b84),
+    ("bank_conflict", "MALEC", 0xde7d83402b15d581),
+    ("store_burst", "Base1ldst", 0xd9acc25a6b874b0b),
+    ("store_burst", "MALEC", 0xce455fc869e46c0e),
+];
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,5 +222,29 @@ mod tests {
         c.counters.utlb_lookups += 1;
         assert_ne!(digest(&a), digest(&c), "one counter flips the digest");
         let _ = DEFAULT_SEED; // the digest contract is tied to the fixed seed
+    }
+
+    #[test]
+    fn scenario_golden_table_covers_every_preset_cell() {
+        use malec_trace::scenario::presets;
+        let expected: Vec<(String, String)> = presets()
+            .into_iter()
+            .flat_map(|s| {
+                scenario_configs()
+                    .into_iter()
+                    .map(move |cfg| (s.name.clone(), cfg.label()))
+            })
+            .collect();
+        assert_eq!(SCENARIO_GOLDEN_DIGESTS.len(), expected.len());
+        assert!(
+            SCENARIO_GOLDEN_DIGESTS.len() >= 6,
+            "the scenario golden table must keep at least 6 cells"
+        );
+        for (&(scenario, config, _), (want_s, want_c)) in
+            SCENARIO_GOLDEN_DIGESTS.iter().zip(&expected)
+        {
+            assert_eq!(scenario, want_s);
+            assert_eq!(config, want_c);
+        }
     }
 }

@@ -1,0 +1,16 @@
+//! `malec-cli` — the TOML-driven scenario sweep runner.
+//!
+//! The library side holds everything the binary does, so it is testable
+//! without spawning processes:
+//!
+//! * [`toml`] — the minimal TOML parser (the vendored serde is an
+//!   API-shape stub, so parsing is hand-rolled here);
+//! * [`spec`] — the `[scenario]` / `[sweep]` / `[report]` spec model;
+//! * [`report`] — JSON report emission, shape-compatible with
+//!   `BENCH_simulator.json`;
+//! * [`run`] — the record → sweep → replay-verify pipeline.
+
+pub mod report;
+pub mod run;
+pub mod spec;
+pub mod toml;

@@ -1,0 +1,181 @@
+//! `malec-cli` — compose workloads from a TOML spec, sweep configurations,
+//! record/replay `.mtr` traces, and emit JSON reports.
+//!
+//! ```text
+//! malec-cli run <spec.toml>                 record + sweep + replay-verify + report
+//! malec-cli record <spec.toml> [-o F.mtr]   record the scenario stream only
+//! malec-cli replay <F.mtr> [--config L] [--insts N] [--seed N]
+//! malec-cli presets                         list the built-in scenarios
+//! ```
+//!
+//! Exit status is nonzero on any error **and** on a replay-digest mismatch,
+//! so CI can gate on `run`.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use malec_bench::goldens::digest;
+use malec_cli::run::{record_trace, run_spec_file};
+use malec_cli::spec::parse_spec;
+use malec_core::{ScenarioSource, Simulator};
+use malec_trace::scenario::presets;
+use malec_types::SimConfig;
+
+fn usage() -> String {
+    "usage:\n  malec-cli run <spec.toml>\n  malec-cli record <spec.toml> [-o out.mtr]\n  malec-cli replay <trace.mtr> [--config LABEL] [--insts N] [--seed N] [--name NAME]\n  malec-cli presets\n\nThe replay digest folds the workload name; pass --name <scenario name>\n(the [scenario] name the trace was recorded under) to make it comparable\nwith the digests in a `run` report."
+        .to_owned()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("malec-cli: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn dispatch(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(args.get(1).ok_or_else(usage)?),
+        Some("record") => cmd_record(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        Some("presets") => {
+            cmd_presets();
+            Ok(())
+        }
+        _ => Err(usage()),
+    }
+}
+
+fn cmd_run(spec_path: &str) -> Result<(), String> {
+    let outcome = run_spec_file(Path::new(spec_path))?;
+    println!(
+        "scenario {} ({}): {} cells x {} insts, {} worker(s), {:.3}s",
+        outcome.spec.scenario.name,
+        outcome.spec.scenario.segment_labels().join(" + "),
+        outcome.cells.len(),
+        outcome.spec.insts,
+        outcome.workers,
+        outcome.wall_seconds,
+    );
+    for cell in &outcome.cells {
+        let s = &cell.generated;
+        println!(
+            "  {:<22} cycles {:>9}  ipc {:>5.2}  l1miss {:>6.3}  coverage {:>5.1}%  replay {}",
+            s.config,
+            s.core.cycles,
+            s.core.ipc(),
+            s.l1_miss_rate,
+            100.0 * s.interface.coverage(),
+            if cell.replay_matches() {
+                "ok"
+            } else {
+                "MISMATCH"
+            },
+        );
+    }
+    println!(
+        "  trace  -> {}\n  report -> {}",
+        outcome.mtr_path.display(),
+        outcome.out_path.display()
+    );
+    if outcome.all_replays_match() {
+        Ok(())
+    } else {
+        Err("replayed .mtr run diverged from the generator run".to_owned())
+    }
+}
+
+fn cmd_record(args: &[String]) -> Result<(), String> {
+    let spec_path = args.first().ok_or_else(usage)?;
+    let text = std::fs::read_to_string(spec_path).map_err(|e| format!("read {spec_path}: {e}"))?;
+    let spec = parse_spec(&text).map_err(|e| format!("{spec_path}: {e}"))?;
+    let out = match args.iter().position(|a| a == "-o") {
+        Some(i) => PathBuf::from(args.get(i + 1).ok_or_else(usage)?),
+        None => PathBuf::from(&spec.mtr),
+    };
+    let written = record_trace(&spec, &out)?;
+    println!(
+        "recorded {written} instructions of `{}` (seed {}) -> {}",
+        spec.scenario.name,
+        spec.seed,
+        out.display()
+    );
+    Ok(())
+}
+
+fn cmd_replay(args: &[String]) -> Result<(), String> {
+    let trace = args.first().ok_or_else(usage)?;
+    let mut config = SimConfig::malec();
+    let mut insts = u64::MAX;
+    let mut seed = malec_cli::spec::DEFAULT_SEED;
+    let mut name: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--name" => {
+                name = Some(args.get(i + 1).ok_or_else(usage)?.clone());
+                i += 2;
+            }
+            "--config" => {
+                let label = args.get(i + 1).ok_or_else(usage)?;
+                config = SimConfig::by_label(label)
+                    .ok_or_else(|| format!("unknown config `{label}`"))?;
+                i += 2;
+            }
+            "--insts" => {
+                insts = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(usage)?;
+                i += 2;
+            }
+            "--seed" => {
+                seed = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(usage)?;
+                i += 2;
+            }
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    // The digest folds the workload name, so default to the file stem but
+    // let --name restore the recorded scenario's name for bit-identity
+    // checks against a `run` report.
+    let name = name.unwrap_or_else(|| {
+        Path::new(trace)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "replay".to_owned())
+    });
+    let source = ScenarioSource::Replay {
+        name,
+        path: PathBuf::from(trace),
+    };
+    let summary = Simulator::new(config)
+        .run_source(&source, insts, seed)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "{} / {}: {} insts in {} cycles (ipc {:.2}), l1 miss {:.3}, energy {:.1}, digest {:#018x}",
+        summary.benchmark,
+        summary.config,
+        summary.core.committed,
+        summary.core.cycles,
+        summary.core.ipc(),
+        summary.l1_miss_rate,
+        summary.energy.total(),
+        digest(&summary),
+    );
+    Ok(())
+}
+
+fn cmd_presets() {
+    println!("built-in scenarios (use with `mode = \"preset\"`):");
+    for s in presets() {
+        println!("  {:<26} [{}]", s.name, s.segment_labels().join(" + "));
+    }
+}

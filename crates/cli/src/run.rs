@@ -1,0 +1,200 @@
+//! The record → sweep → replay-verify pipeline behind `malec-cli run`.
+//!
+//! One spec run does four things, in order:
+//!
+//! 1. **Record** — generate the scenario's instruction stream once and
+//!    stream it into the spec's `.mtr` file;
+//! 2. **Sweep** — fan the configurations out over [`parallel_map`], each
+//!    cell simulating the *generator* stream;
+//! 3. **Replay-verify** — each cell also simulates the recorded `.mtr`
+//!    stream and both summaries are digested: replay must be bit-identical
+//!    to generation, every cell, every config;
+//! 4. **Report** — write the JSON report next to the spec's `out` path.
+
+use std::fs::File;
+use std::io::BufWriter;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use malec_core::parallel::{parallel_map, workers_used};
+use malec_core::{ScenarioSource, Simulator};
+use malec_trace::TraceWriter;
+
+use crate::report::{render, CellResult};
+use crate::spec::{parse_spec, SweepSpec};
+
+/// Everything a finished spec run produced.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// The resolved spec.
+    pub spec: SweepSpec,
+    /// Per-config results in spec order.
+    pub cells: Vec<CellResult>,
+    /// Workers the parallel fan-out actually used.
+    pub workers: usize,
+    /// Wall-clock of the sweep (record and report excluded).
+    pub wall_seconds: f64,
+    /// Where the trace was recorded.
+    pub mtr_path: PathBuf,
+    /// Where the JSON report was written.
+    pub out_path: PathBuf,
+}
+
+impl SweepOutcome {
+    /// Whether every cell's replay digest matched its generator digest.
+    pub fn all_replays_match(&self) -> bool {
+        self.cells.iter().all(CellResult::replay_matches)
+    }
+}
+
+/// Records `spec`'s scenario stream to `path` (streaming; the trace is
+/// never held in memory).
+///
+/// # Errors
+///
+/// Propagates file-creation and write errors, naming the path.
+pub fn record_trace(spec: &SweepSpec, path: &Path) -> Result<u64, String> {
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent).map_err(|e| format!("create {}: {e}", parent.display()))?;
+    }
+    let file = File::create(path).map_err(|e| format!("create {}: {e}", path.display()))?;
+    let mut writer = TraceWriter::new(BufWriter::new(file))
+        .map_err(|e| format!("write {}: {e}", path.display()))?;
+    for inst in spec.scenario.generator(spec.seed).take(spec.insts as usize) {
+        writer
+            .write(inst)
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
+    }
+    let written = writer.written();
+    writer
+        .finish()
+        .map_err(|e| format!("flush {}: {e}", path.display()))?;
+    Ok(written)
+}
+
+/// Runs a parsed spec end to end. Paths in the spec are resolved relative
+/// to `base_dir` (the process working directory for the CLI).
+///
+/// # Errors
+///
+/// Returns a descriptive message on I/O failure. A replay-digest mismatch
+/// is **not** an early error — the report records it and the caller decides
+/// (the CLI exits nonzero so CI catches it).
+pub fn run_parsed_spec(
+    spec: SweepSpec,
+    spec_path: &str,
+    base_dir: &Path,
+) -> Result<SweepOutcome, String> {
+    let mtr_path = base_dir.join(&spec.mtr);
+    let out_path = base_dir.join(&spec.out);
+    record_trace(&spec, &mtr_path)?;
+
+    let replay = ScenarioSource::Replay {
+        name: spec.scenario.name.clone(),
+        path: mtr_path.clone(),
+    };
+    let generate = ScenarioSource::Scenario(spec.scenario.clone());
+    let configs = spec.configs.clone();
+    let workers = workers_used(configs.len());
+    let t = Instant::now();
+    let cells: Vec<Result<CellResult, String>> = parallel_map(configs, |cfg| {
+        let sim = Simulator::new(cfg.clone());
+        let generated = sim
+            .run_source(&generate, spec.insts, spec.seed)
+            .map_err(|e| format!("{}: generator run: {e}", cfg.label()))?;
+        let replayed = sim
+            .run_source(&replay, spec.insts, spec.seed)
+            .map_err(|e| format!("{}: replay run: {e}", cfg.label()))?;
+        Ok(CellResult::new(generated, &replayed))
+    });
+    let wall_seconds = t.elapsed().as_secs_f64();
+    let cells: Vec<CellResult> = cells.into_iter().collect::<Result<_, _>>()?;
+
+    let json = render(
+        spec_path,
+        &spec.scenario.name,
+        &spec.scenario.segment_labels(),
+        &spec.mtr,
+        spec.insts,
+        spec.seed,
+        workers,
+        wall_seconds,
+        &cells,
+    );
+    if let Some(parent) = out_path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent).map_err(|e| format!("create {}: {e}", parent.display()))?;
+    }
+    std::fs::write(&out_path, &json).map_err(|e| format!("write {}: {e}", out_path.display()))?;
+
+    Ok(SweepOutcome {
+        spec,
+        cells,
+        workers,
+        wall_seconds,
+        mtr_path,
+        out_path,
+    })
+}
+
+/// Reads and runs a spec file.
+///
+/// # Errors
+///
+/// Returns a descriptive message for unreadable files, spec errors, and
+/// I/O failures during the run.
+pub fn run_spec_file(path: &Path) -> Result<SweepOutcome, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let spec = parse_spec(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    run_parsed_spec(spec, &path.display().to_string(), Path::new("."))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_spec(dir: &Path, name: &str) -> SweepSpec {
+        let doc = format!(
+            "[scenario]\nname = \"{name}\"\nmode = \"mixed\"\nblock = 24\n\
+             [[scenario.part]]\nkind = \"benchmark\"\nbenchmark = \"gzip\"\nweight = 2\n\
+             [[scenario.part]]\nkind = \"store_burst\"\nweight = 1\n\
+             [sweep]\nconfigs = [\"Base1ldst\", \"MALEC\"]\ninsts = 3000\nseed = 11\n\
+             [report]\nout = \"{name}.json\"\nmtr = \"{name}.mtr\"\n"
+        );
+        let _ = dir; // paths are resolved by run_parsed_spec's base_dir
+        parse_spec(&doc).expect("demo spec parses")
+    }
+
+    #[test]
+    fn end_to_end_replay_is_bit_identical() {
+        let dir = std::env::temp_dir().join("malec_cli_run_test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let spec = demo_spec(&dir, "cli_e2e");
+        let outcome = run_parsed_spec(spec, "inline", &dir).expect("run succeeds");
+        assert_eq!(outcome.cells.len(), 2);
+        assert!(outcome.all_replays_match(), "replay must be bit-identical");
+        assert!(outcome.workers >= 1);
+        assert!(outcome.mtr_path.exists());
+        let json = std::fs::read_to_string(&outcome.out_path).expect("report written");
+        assert!(json.contains("\"replay_matches_generator\": true"));
+        assert!(json.contains("malec_scenario_sweep"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn record_trace_counts_records() {
+        let dir = std::env::temp_dir().join("malec_cli_record_test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let spec = demo_spec(&dir, "cli_record");
+        let path = dir.join("t.mtr");
+        let written = record_trace(&spec, &path).expect("record");
+        assert_eq!(written, 3000);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unreadable_spec_is_a_clean_error() {
+        let e = run_spec_file(Path::new("/nonexistent/spec.toml")).expect_err("must fail");
+        assert!(e.contains("spec.toml"), "{e}");
+    }
+}

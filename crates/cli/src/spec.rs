@@ -1,0 +1,486 @@
+//! The scenario + sweep spec: what a `malec-cli` TOML file means.
+//!
+//! A spec names one [`Scenario`] (phased, mixed, single-segment, or a
+//! preset), the configurations to sweep it over, the instruction budget and
+//! seed, and where the report and recorded `.mtr` trace go. See
+//! `examples/scenarios/` for complete files.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use malec_trace::benchmark_named;
+use malec_trace::scenario::{
+    preset_named, BankConflictParams, MixPart, Phase, Scenario, SegmentKind, StoreBurstParams,
+    TlbThrashParams,
+};
+use malec_types::SimConfig;
+
+use crate::toml::{parse, TomlError, Value};
+
+/// Default instruction budget per sweep cell.
+pub const DEFAULT_INSTS: u64 = 20_000;
+/// Default seed (the repository-wide reproducibility seed).
+pub const DEFAULT_SEED: u64 = 2013;
+
+/// A fully resolved sweep spec.
+#[derive(Clone, Debug)]
+pub struct SweepSpec {
+    /// The composed scenario.
+    pub scenario: Scenario,
+    /// Configurations to sweep over.
+    pub configs: Vec<SimConfig>,
+    /// Instructions per cell.
+    pub insts: u64,
+    /// Seed for generation and interface randomness.
+    pub seed: u64,
+    /// JSON report path (`<scenario name>_report.json` if unset).
+    pub out: String,
+    /// Recorded trace path (`<scenario name>.mtr` if unset).
+    pub mtr: String,
+}
+
+/// A spec-level failure: parse error or semantic problem.
+#[derive(Clone, Debug)]
+pub struct SpecError(pub String);
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<TomlError> for SpecError {
+    fn from(e: TomlError) -> Self {
+        SpecError(e.to_string())
+    }
+}
+
+fn bad(msg: impl Into<String>) -> SpecError {
+    SpecError(msg.into())
+}
+
+type Table = BTreeMap<String, Value>;
+
+fn get_str<'a>(t: &'a Table, key: &str, ctx: &str) -> Result<&'a str, SpecError> {
+    t.get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| bad(format!("{ctx}: missing or non-string `{key}`")))
+}
+
+fn opt_u64(t: &Table, key: &str, default: u64, ctx: &str) -> Result<u64, SpecError> {
+    match t.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_int()
+            .filter(|&i| i >= 0)
+            .map(|i| i as u64)
+            .ok_or_else(|| bad(format!("{ctx}: `{key}` must be a non-negative integer"))),
+    }
+}
+
+fn opt_u32(t: &Table, key: &str, default: u32, ctx: &str) -> Result<u32, SpecError> {
+    let v = opt_u64(t, key, u64::from(default), ctx)?;
+    u32::try_from(v).map_err(|_| bad(format!("{ctx}: `{key}` too large")))
+}
+
+/// `opt_u32` with an upper bound — the adversarial generators own fixed
+/// 32-bit address regions (slot 14 and the halves of slot 15), so their
+/// page pools must not spill past them into each other or the benchmarks.
+fn bounded_u32(t: &Table, key: &str, default: u32, max: u32, ctx: &str) -> Result<u32, SpecError> {
+    let v = opt_u32(t, key, default, ctx)?;
+    if v > max {
+        return Err(bad(format!(
+            "{ctx}: `{key}` must be at most {max} (address-region bound)"
+        )));
+    }
+    Ok(v)
+}
+
+fn opt_f64(t: &Table, key: &str, default: f64, ctx: &str) -> Result<f64, SpecError> {
+    match t.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_float()
+            .filter(|f| f.is_finite())
+            .ok_or_else(|| bad(format!("{ctx}: `{key}` must be a number"))),
+    }
+}
+
+/// Rejects keys outside `allowed` — a typo'd or misplaced setting must
+/// fail loudly instead of silently falling back to a default.
+fn reject_unknown_keys(t: &Table, allowed: &[&str], ctx: &str) -> Result<(), SpecError> {
+    for key in t.keys() {
+        if !allowed.contains(&key.as_str()) {
+            return Err(bad(format!(
+                "{ctx}: unknown key `{key}` (expected one of: {})",
+                allowed.join(", ")
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Parses a segment description (`kind = ...` plus kind-specific fields).
+/// `extra` names the caller-level keys sharing the table (`insts` for
+/// phases, `weight` for parts).
+fn parse_segment(t: &Table, extra: &[&str], ctx: &str) -> Result<SegmentKind, SpecError> {
+    let kind = get_str(t, "kind", ctx)?;
+    let check = |kind_keys: &[&str]| {
+        let mut allowed = vec!["kind"];
+        allowed.extend_from_slice(extra);
+        allowed.extend_from_slice(kind_keys);
+        reject_unknown_keys(t, &allowed, ctx)
+    };
+    match kind {
+        "benchmark" => {
+            check(&["benchmark"])?;
+            let name = get_str(t, "benchmark", ctx)?;
+            let profile = benchmark_named(name)
+                .ok_or_else(|| bad(format!("{ctx}: unknown benchmark `{name}`")))?;
+            Ok(SegmentKind::Benchmark(profile))
+        }
+        "tlb_thrash" => {
+            check(&["pages", "lines_per_page", "load_fraction"])?;
+            let d = TlbThrashParams::default();
+            Ok(SegmentKind::TlbThrash(TlbThrashParams {
+                // Slot 14 of the 32-bit space: 256 MiB = 65536 pages.
+                pages: bounded_u32(t, "pages", d.pages, 65_536, ctx)?,
+                lines_per_page: opt_u32(t, "lines_per_page", d.lines_per_page, ctx)?,
+                load_fraction: opt_f64(t, "load_fraction", d.load_fraction, ctx)?.clamp(0.0, 1.0),
+            }))
+        }
+        "bank_conflict" => {
+            check(&["stride_lines", "pages"])?;
+            let d = BankConflictParams::default();
+            Ok(SegmentKind::BankConflict(BankConflictParams {
+                stride_lines: opt_u32(t, "stride_lines", d.stride_lines, ctx)?,
+                // Lower half of slot 15: 128 MiB = 32768 pages.
+                pages: bounded_u32(t, "pages", d.pages, 32_768, ctx)?,
+            }))
+        }
+        "store_burst" => {
+            check(&["burst", "loads_after", "lines_back", "gap", "pages"])?;
+            let d = StoreBurstParams::default();
+            Ok(SegmentKind::StoreBurst(StoreBurstParams {
+                burst: opt_u32(t, "burst", d.burst, ctx)?,
+                loads_after: opt_u32(t, "loads_after", d.loads_after, ctx)?,
+                lines_back: opt_u32(t, "lines_back", d.lines_back, ctx)?,
+                gap: opt_u32(t, "gap", d.gap, ctx)?,
+                // Upper half of slot 15: 128 MiB = 32768 pages.
+                pages: bounded_u32(t, "pages", d.pages, 32_768, ctx)?,
+            }))
+        }
+        other => Err(bad(format!(
+            "{ctx}: unknown segment kind `{other}` \
+             (expected benchmark | tlb_thrash | bank_conflict | store_burst)"
+        ))),
+    }
+}
+
+fn parse_scenario(root: &Table) -> Result<Scenario, SpecError> {
+    let t = root
+        .get("scenario")
+        .and_then(Value::as_table)
+        .ok_or_else(|| bad("spec needs a [scenario] table"))?;
+    let mode = t.get("mode").and_then(Value::as_str).unwrap_or("phased");
+    if mode == "preset" {
+        reject_unknown_keys(t, &["mode", "preset"], "[scenario]")?;
+        let name = get_str(t, "preset", "[scenario]")?;
+        return preset_named(name)
+            .ok_or_else(|| bad(format!("[scenario]: unknown preset `{name}`")));
+    }
+    let name = get_str(t, "name", "[scenario]")?.to_owned();
+    match mode {
+        "phased" => {
+            reject_unknown_keys(t, &["mode", "name", "phase"], "[scenario]")?;
+            let phases = t
+                .get("phase")
+                .and_then(Value::as_array)
+                .ok_or_else(|| bad("phased scenarios need [[scenario.phase]] entries"))?;
+            if phases.is_empty() {
+                return Err(bad("phased scenarios need at least one phase"));
+            }
+            let phases = phases
+                .iter()
+                .enumerate()
+                .map(|(i, v)| {
+                    let ctx = format!("[[scenario.phase]] #{}", i + 1);
+                    let pt = v
+                        .as_table()
+                        .ok_or_else(|| bad(format!("{ctx}: not a table")))?;
+                    let insts = opt_u64(pt, "insts", 0, &ctx)?;
+                    if insts == 0 {
+                        return Err(bad(format!("{ctx}: needs `insts` > 0")));
+                    }
+                    Ok(Phase::new(parse_segment(pt, &["insts"], &ctx)?, insts))
+                })
+                .collect::<Result<Vec<_>, SpecError>>()?;
+            Ok(Scenario::phased(name, phases))
+        }
+        "mixed" => {
+            reject_unknown_keys(t, &["mode", "name", "block", "part"], "[scenario]")?;
+            let parts = t
+                .get("part")
+                .and_then(Value::as_array)
+                .ok_or_else(|| bad("mixed scenarios need [[scenario.part]] entries"))?;
+            if parts.is_empty() {
+                return Err(bad("mixed scenarios need at least one part"));
+            }
+            let block = opt_u32(t, "block", 64, "[scenario]")?;
+            if block == 0 {
+                return Err(bad("[scenario]: `block` must be > 0"));
+            }
+            let parts = parts
+                .iter()
+                .enumerate()
+                .map(|(i, v)| {
+                    let ctx = format!("[[scenario.part]] #{}", i + 1);
+                    let pt = v
+                        .as_table()
+                        .ok_or_else(|| bad(format!("{ctx}: not a table")))?;
+                    let weight = opt_u32(pt, "weight", 1, &ctx)?;
+                    if weight == 0 {
+                        // Fail loudly: a zero-weight part would be silently
+                        // clamped to 1 by MixPart::new, not disabled.
+                        return Err(bad(format!(
+                            "{ctx}: `weight` must be > 0 (delete the part to disable it)"
+                        )));
+                    }
+                    Ok(MixPart::new(parse_segment(pt, &["weight"], &ctx)?, weight))
+                })
+                .collect::<Result<Vec<_>, SpecError>>()?;
+            Ok(Scenario::mixed(name, parts, block))
+        }
+        other => Err(bad(format!(
+            "[scenario]: unknown mode `{other}` (expected phased | mixed | preset)"
+        ))),
+    }
+}
+
+fn parse_configs(root: &Table) -> Result<Vec<SimConfig>, SpecError> {
+    let sweep = root.get("sweep").and_then(Value::as_table);
+    let Some(list) = sweep
+        .and_then(|t| t.get("configs"))
+        .and_then(Value::as_array)
+    else {
+        // No explicit list: the three Table I configurations.
+        return Ok(vec![
+            SimConfig::base1ldst(),
+            SimConfig::base2ld1st(),
+            SimConfig::malec(),
+        ]);
+    };
+    if list.is_empty() {
+        return Err(bad("[sweep]: `configs` must not be empty"));
+    }
+    list.iter()
+        .map(|v| {
+            let label = v
+                .as_str()
+                .ok_or_else(|| bad("[sweep]: `configs` must be a list of strings"))?;
+            SimConfig::by_label(label).ok_or_else(|| {
+                bad(format!(
+                    "[sweep]: unknown config `{label}` (expected one of {})",
+                    SimConfig::figure4_set()
+                        .iter()
+                        .map(SimConfig::label)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ))
+            })
+        })
+        .collect()
+}
+
+/// Parses a complete spec document.
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] describing the first TOML or semantic problem.
+pub fn parse_spec(input: &str) -> Result<SweepSpec, SpecError> {
+    let root = parse(input)?;
+    reject_unknown_keys(&root, &["scenario", "sweep", "report"], "spec")?;
+    let scenario = parse_scenario(&root)?;
+    let configs = parse_configs(&root)?;
+    let sweep = root.get("sweep").and_then(Value::as_table);
+    let (insts, seed) = match sweep {
+        Some(t) => {
+            reject_unknown_keys(t, &["configs", "insts", "seed"], "[sweep]")?;
+            (
+                opt_u64(t, "insts", DEFAULT_INSTS, "[sweep]")?,
+                opt_u64(t, "seed", DEFAULT_SEED, "[sweep]")?,
+            )
+        }
+        None => (DEFAULT_INSTS, DEFAULT_SEED),
+    };
+    if insts == 0 {
+        return Err(bad("[sweep]: `insts` must be > 0"));
+    }
+    let report = root.get("report").and_then(Value::as_table);
+    if let Some(t) = report {
+        reject_unknown_keys(t, &["out", "mtr"], "[report]")?;
+    }
+    let out = report
+        .and_then(|t| t.get("out"))
+        .and_then(Value::as_str)
+        .map(str::to_owned)
+        .unwrap_or_else(|| format!("{}_report.json", scenario.name));
+    let mtr = report
+        .and_then(|t| t.get("mtr"))
+        .and_then(Value::as_str)
+        .map(str::to_owned)
+        .unwrap_or_else(|| format!("{}.mtr", scenario.name));
+    Ok(SweepSpec {
+        scenario,
+        configs,
+        insts,
+        seed,
+        out,
+        mtr,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use malec_trace::scenario::Composition;
+
+    const MIXED: &str = r#"
+[scenario]
+name = "demo"
+mode = "mixed"
+block = 32
+
+[[scenario.part]]
+kind = "benchmark"
+benchmark = "djpeg"
+weight = 2
+
+[[scenario.part]]
+kind = "store_burst"
+burst = 20
+
+[sweep]
+configs = ["Base1ldst", "MALEC"]
+insts = 9000
+seed = 7
+
+[report]
+out = "demo.json"
+mtr = "demo.mtr"
+"#;
+
+    #[test]
+    fn parses_a_mixed_spec() {
+        let spec = parse_spec(MIXED).expect("parses");
+        assert_eq!(spec.scenario.name, "demo");
+        assert_eq!(spec.insts, 9000);
+        assert_eq!(spec.seed, 7);
+        assert_eq!(spec.out, "demo.json");
+        assert_eq!(spec.mtr, "demo.mtr");
+        assert_eq!(spec.configs.len(), 2);
+        assert_eq!(spec.configs[1].label(), "MALEC");
+        match &spec.scenario.composition {
+            Composition::Mixed { parts, block } => {
+                assert_eq!(*block, 32);
+                assert_eq!(parts.len(), 2);
+                assert_eq!(parts[0].weight, 2);
+                assert_eq!(parts[0].kind.label(), "djpeg");
+                match &parts[1].kind {
+                    SegmentKind::StoreBurst(p) => assert_eq!(p.burst, 20),
+                    other => panic!("wrong kind: {other:?}"),
+                }
+            }
+            other => panic!("wrong composition: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_a_phased_spec_with_defaults() {
+        let spec = parse_spec(
+            "[scenario]\nname = \"p\"\n\n[[scenario.phase]]\nkind = \"tlb_thrash\"\ninsts = 500\n",
+        )
+        .expect("parses");
+        assert_eq!(spec.insts, DEFAULT_INSTS);
+        assert_eq!(spec.seed, DEFAULT_SEED);
+        assert_eq!(spec.configs.len(), 3, "Table I defaults");
+        assert_eq!(spec.out, "p_report.json");
+        assert_eq!(spec.mtr, "p.mtr");
+    }
+
+    #[test]
+    fn parses_a_preset_spec() {
+        let spec = parse_spec("[scenario]\nmode = \"preset\"\npreset = \"store_burst\"\n")
+            .expect("parses");
+        assert_eq!(spec.scenario.name, "store_burst");
+    }
+
+    #[test]
+    fn rejects_bad_specs() {
+        for (doc, needle) in [
+            ("x = 1\n", "unknown key `x`"),
+            ("[scenario]\nname = \"a\"\n[[scenario.phase]]\nkind = \"tlb_thrash\"\ninsts = 5\n[sweep]\nconfigs = []\n", "must not be empty"),
+            ("[scenario]\nname = \"a\"\n", "phase"),
+            (
+                "[scenario]\nname = \"a\"\n[[scenario.phase]]\nkind = \"benchmark\"\nbenchmark = \"gzip\"\n",
+                "insts",
+            ),
+            (
+                "[scenario]\nname = \"a\"\n[[scenario.phase]]\nkind = \"what\"\ninsts = 5\n",
+                "unknown segment kind",
+            ),
+            (
+                "[scenario]\nname = \"a\"\n[[scenario.phase]]\nkind = \"benchmark\"\nbenchmark = \"nope\"\ninsts = 5\n",
+                "unknown benchmark",
+            ),
+            (
+                "[scenario]\nmode = \"preset\"\npreset = \"nope\"\n",
+                "unknown preset",
+            ),
+            (
+                "[scenario]\nname = \"a\"\n[[scenario.phase]]\nkind = \"tlb_thrash\"\ninsts = 5\n[sweep]\nconfigs = [\"Qux\"]\n",
+                "unknown config",
+            ),
+            (
+                "[scenario]\nname = \"a\"\n[[scenario.phase]]\nkind = \"tlb_thrash\"\ninsts = 5\n[sweep]\ninsts = 0\n",
+                "insts",
+            ),
+            // Misplaced and typo'd keys must fail loudly, not silently
+            // fall back to defaults.
+            (
+                "[scenario]\nname = \"a\"\ninsts = 500000\n[[scenario.phase]]\nkind = \"tlb_thrash\"\ninsts = 5\n",
+                "unknown key `insts`",
+            ),
+            (
+                "[scenario]\nname = \"a\"\n[[scenario.phase]]\nkind = \"tlb_thrash\"\ninsts = 5\n[sweep]\nseeds = 7\n",
+                "unknown key `seeds`",
+            ),
+            (
+                "[scenario]\nname = \"a\"\n[[scenario.phase]]\nkind = \"store_burst\"\nburts = 9\ninsts = 5\n",
+                "unknown key `burts`",
+            ),
+            (
+                "[scenario]\nname = \"a\"\n[[scenario.phase]]\nkind = \"tlb_thrash\"\ninsts = 5\n[reprot]\nout = \"x\"\n",
+                "unknown key `reprot`",
+            ),
+            // Region bounds and zero weights fail loudly too.
+            (
+                "[scenario]\nname = \"a\"\n[[scenario.phase]]\nkind = \"tlb_thrash\"\npages = 100000\ninsts = 5\n",
+                "at most 65536",
+            ),
+            (
+                "[scenario]\nname = \"a\"\n[[scenario.phase]]\nkind = \"bank_conflict\"\npages = 40000\ninsts = 5\n",
+                "at most 32768",
+            ),
+            (
+                "[scenario]\nname = \"a\"\nmode = \"mixed\"\n[[scenario.part]]\nkind = \"tlb_thrash\"\nweight = 0\n",
+                "`weight` must be > 0",
+            ),
+        ] {
+            let e = parse_spec(doc).expect_err(doc);
+            assert!(e.to_string().contains(needle), "`{e}` lacks `{needle}`");
+        }
+    }
+}

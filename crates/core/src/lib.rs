@@ -49,6 +49,7 @@ pub mod report;
 pub mod sbmb;
 pub mod segmented_wt;
 pub mod sim;
+pub mod source;
 pub mod sweep;
 pub mod waytable;
 pub mod wdu;
@@ -57,3 +58,4 @@ pub use baseline::BaselineInterface;
 pub use malec::MalecInterface;
 pub use metrics::{InterfaceStats, RunSummary};
 pub use sim::Simulator;
+pub use source::ScenarioSource;

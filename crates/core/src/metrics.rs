@@ -70,8 +70,9 @@ impl InterfaceStats {
 pub struct RunSummary {
     /// Configuration label (e.g. `MALEC_3cycleL1`).
     pub config: String,
-    /// Benchmark name.
-    pub benchmark: &'static str,
+    /// Workload name: a benchmark (`gzip`), a scenario (`store_burst`), or
+    /// a replayed trace.
+    pub benchmark: String,
     /// Suite display name.
     pub suite: &'static str,
     /// Core-side statistics (cycles, IPC, commit mix).

@@ -26,6 +26,13 @@ pub fn worker_count() -> usize {
         .min(MAX_THREADS)
 }
 
+/// The number of workers [`parallel_map`] actually runs for `items` items —
+/// [`worker_count`] capped by the item count (a 24-cell sweep never spawns
+/// 32 threads). This is the figure reports should quote.
+pub fn workers_used(items: usize) -> usize {
+    worker_count().min(items).max(1)
+}
+
 /// Maps `f` over `items` in parallel, preserving input order in the output.
 ///
 /// Spawns up to [`worker_count`] scoped threads which claim items through a
@@ -118,6 +125,14 @@ mod tests {
         let out = parallel_map_with(items.clone(), |&x| x * x, 4);
         let expected: Vec<u64> = items.iter().map(|&x| x * x).collect();
         assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn workers_used_is_capped_by_items() {
+        assert_eq!(workers_used(0), 1);
+        assert_eq!(workers_used(1), 1);
+        assert!(workers_used(1_000) <= worker_count());
+        assert!(workers_used(1_000) >= 1);
     }
 
     #[test]

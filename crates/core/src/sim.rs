@@ -9,7 +9,7 @@ use malec_cpu::interface::{AcceptKind, L1DataInterface};
 use malec_cpu::OoOCore;
 use malec_energy::EnergyModel;
 use malec_trace::profile::BenchmarkProfile;
-use malec_trace::WorkloadGenerator;
+use malec_trace::{TraceInst, WorkloadGenerator};
 use malec_types::config::{InterfaceKind, SimConfig};
 use malec_types::op::{MemOp, OpId};
 
@@ -119,6 +119,21 @@ impl Simulator {
     /// returns the complete summary.
     pub fn run(&self, profile: &BenchmarkProfile, insts: u64, seed: u64) -> RunSummary {
         let trace = WorkloadGenerator::new(profile, seed).take(insts as usize);
+        self.run_trace(profile.name, profile.suite.name(), trace, seed)
+    }
+
+    /// Runs an arbitrary instruction stream — a scenario generator, a
+    /// replayed `.mtr` trace, or anything else that yields [`TraceInst`] —
+    /// under this configuration. `seed` only feeds the *interface's*
+    /// replacement/placement randomness, so the same trace and seed produce
+    /// bit-identical summaries no matter how the trace was obtained.
+    pub fn run_trace(
+        &self,
+        name: impl Into<String>,
+        suite: &'static str,
+        trace: impl Iterator<Item = TraceInst>,
+        seed: u64,
+    ) -> RunSummary {
         let interface = AnyInterface::for_config(&self.config, seed ^ 0x5eed);
         let mut core = OoOCore::new(&self.config, interface);
         let core_stats = core.run(trace);
@@ -144,8 +159,8 @@ impl Simulator {
         let utlb_total = utlb.0 + utlb.1;
         RunSummary {
             config: self.config.label(),
-            benchmark: profile.name,
-            suite: profile.suite.name(),
+            benchmark: name.into(),
+            suite,
             core: core_stats,
             interface: iface_stats,
             counters,

@@ -12,6 +12,7 @@ use malec_types::geometry::CacheGeometry;
 use crate::metrics::RunSummary;
 use crate::parallel::parallel_map;
 use crate::sim::Simulator;
+use crate::source::ScenarioSource;
 use malec_trace::profile::BenchmarkProfile;
 
 /// One point of a parameter sweep.
@@ -115,12 +116,34 @@ impl ParameterSweep {
         insts: u64,
         seed: u64,
     ) -> Vec<(String, RunSummary)> {
+        Self::run_source(
+            points,
+            &ScenarioSource::Profile(profile.clone()),
+            insts,
+            seed,
+        )
+    }
+
+    /// [`ParameterSweep::run`] over any workload source — a profile, a
+    /// composed scenario, or a replayed `.mtr` trace. Replay sources are
+    /// re-opened per point, so the fan-out stays embarrassingly parallel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a replay source's file cannot be read — a sweep over a
+    /// missing trace is a harness bug, not a recoverable condition.
+    pub fn run_source(
+        points: &[SweepPoint],
+        source: &ScenarioSource,
+        insts: u64,
+        seed: u64,
+    ) -> Vec<(String, RunSummary)> {
         let points: Vec<&SweepPoint> = points.iter().collect();
         parallel_map(points, |p| {
-            (
-                p.label.clone(),
-                Simulator::new(p.config.clone()).run(profile, insts, seed),
-            )
+            let summary = Simulator::new(p.config.clone())
+                .run_source(source, insts, seed)
+                .unwrap_or_else(|e| panic!("{}: workload source failed: {e}", p.label));
+            (p.label.clone(), summary)
         })
     }
 }

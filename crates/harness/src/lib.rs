@@ -4,8 +4,13 @@
 //!
 //! Re-exports the main entry points so examples can use one import root.
 
-pub use malec_core::{BaselineInterface, InterfaceStats, MalecInterface, RunSummary, Simulator};
-pub use malec_trace::{all_benchmarks, benchmarks_of, BenchmarkProfile, Suite, WorkloadGenerator};
+pub use malec_core::{
+    BaselineInterface, InterfaceStats, MalecInterface, RunSummary, ScenarioSource, Simulator,
+};
+pub use malec_trace::{
+    all_benchmarks, benchmark_named, benchmarks_of, BenchmarkProfile, Scenario, Suite, TraceReader,
+    TraceWriter, WorkloadGenerator,
+};
 pub use malec_types::{InterfaceKind, LatencyVariant, SimConfig, WayDetermination};
 
 #[cfg(test)]

@@ -19,6 +19,10 @@
 //!   [`Suite`], [`all_benchmarks`]);
 //! * [`generate`] — the deterministic stochastic generator
 //!   ([`WorkloadGenerator`]);
+//! * [`scenario`] — composable multi-phase / mixed / adversarial workloads
+//!   ([`Scenario`]);
+//! * [`record`] — the `.mtr` binary trace format with streaming
+//!   record/replay ([`TraceWriter`], [`TraceReader`]);
 //! * [`stats`] — Fig. 1 statistics (consecutive same-page access runs with
 //!   allowed intermediates) and same-line adjacency.
 //!
@@ -42,10 +46,12 @@ pub mod generate;
 pub mod inst;
 pub mod profile;
 pub mod record;
+pub mod scenario;
 pub mod stats;
 
 pub use generate::WorkloadGenerator;
 pub use inst::{DepDistance, TraceInst};
-pub use profile::{all_benchmarks, benchmarks_of, BenchmarkProfile, Suite};
-pub use record::{read_trace, write_trace};
+pub use profile::{all_benchmarks, benchmark_named, benchmarks_of, BenchmarkProfile, Suite};
+pub use record::{read_trace, write_trace, TraceReader, TraceWriter, MTR_EXTENSION};
+pub use scenario::{Composition, MixPart, Phase, Scenario, ScenarioGenerator, SegmentKind};
 pub use stats::{page_locality_ratios, run_length_buckets, same_line_adjacency, RunLengthBuckets};

@@ -443,6 +443,11 @@ pub fn all_benchmarks() -> Vec<BenchmarkProfile> {
     v
 }
 
+/// Finds a profile by its Fig. 4 name.
+pub fn benchmark_named(name: &str) -> Option<BenchmarkProfile> {
+    all_benchmarks().into_iter().find(|b| b.name == name)
+}
+
 /// The benchmarks of one suite, in figure order.
 pub fn benchmarks_of(suite: Suite) -> Vec<BenchmarkProfile> {
     all_benchmarks()

@@ -1,8 +1,10 @@
-//! Trace recording and replay.
+//! Trace recording and replay — the `.mtr` format.
 //!
 //! Synthetic generation is deterministic, but exporting traces makes runs
-//! portable across tool versions and lets external (real) traces drive the
-//! simulator. The format is a compact little-endian byte stream:
+//! portable across tool versions, lets external (real) traces drive the
+//! simulator, and lets any scenario be recorded once and replayed
+//! bit-identically. The format is a compact little-endian byte stream,
+//! conventionally stored with the [`MTR_EXTENSION`] (`.mtr`):
 //!
 //! ```text
 //! magic "MLCT"  version u8
@@ -15,12 +17,23 @@
 //! ```
 //!
 //! Varints are LEB128 (7 bits per byte, high bit = continuation).
+//!
+//! Two access styles:
+//!
+//! * whole-trace: [`write_trace`] / [`read_trace`] (small traces, tests);
+//! * streaming: [`TraceWriter`] appends records one at a time and
+//!   [`TraceReader`] iterates records straight off any [`Read`] — so a
+//!   multi-gigabyte trace can feed `OoOCore` without ever being
+//!   materialized in memory.
 
 use std::io::{self, Read, Write};
 
 use malec_types::addr::VAddr;
 
 use crate::inst::TraceInst;
+
+/// Conventional file extension of this trace format.
+pub const MTR_EXTENSION: &str = "mtr";
 
 const MAGIC: &[u8; 4] = b"MLCT";
 const VERSION: u8 = 1;
@@ -94,41 +107,106 @@ pub fn write_trace(
     w: &mut impl Write,
     trace: impl IntoIterator<Item = TraceInst>,
 ) -> io::Result<()> {
-    w.write_all(MAGIC)?;
-    w.write_all(&[VERSION])?;
+    let mut writer = TraceWriter::new(w)?;
     for inst in trace {
+        writer.write(inst)?;
+    }
+    Ok(())
+}
+
+/// Incremental `.mtr` writer: emits the header on construction, then one
+/// record per [`write`](TraceWriter::write) call. Streams of any length can
+/// be recorded without buffering them.
+///
+/// # Example
+///
+/// ```
+/// # use std::error::Error;
+/// # fn main() -> Result<(), Box<dyn Error>> {
+/// use malec_trace::record::{read_trace, TraceWriter};
+/// use malec_trace::{all_benchmarks, WorkloadGenerator};
+///
+/// let mut buf = Vec::new();
+/// let mut w = TraceWriter::new(&mut buf)?;
+/// for inst in WorkloadGenerator::new(&all_benchmarks()[0], 1).take(100) {
+///     w.write(inst)?;
+/// }
+/// assert_eq!(read_trace(&mut buf.as_slice())?.len(), 100);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct TraceWriter<W> {
+    w: W,
+    written: u64,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Starts a trace on `w` (writes the magic + version header).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn new(mut w: W) -> io::Result<Self> {
+        w.write_all(MAGIC)?;
+        w.write_all(&[VERSION])?;
+        Ok(Self { w, written: 0 })
+    }
+
+    /// Appends one record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write(&mut self, inst: TraceInst) -> io::Result<()> {
         match inst {
             TraceInst::Op { latency, dep } => {
-                w.write_all(&[0, latency])?;
-                write_varint(w, dep_to_wire(dep))?;
+                self.w.write_all(&[0, latency])?;
+                write_varint(&mut self.w, dep_to_wire(dep))?;
             }
             TraceInst::Load {
                 vaddr,
                 size,
                 addr_dep,
             } => {
-                w.write_all(&[1])?;
-                write_varint(w, vaddr.raw())?;
-                w.write_all(&[size])?;
-                write_varint(w, dep_to_wire(addr_dep))?;
+                self.w.write_all(&[1])?;
+                write_varint(&mut self.w, vaddr.raw())?;
+                self.w.write_all(&[size])?;
+                write_varint(&mut self.w, dep_to_wire(addr_dep))?;
             }
             TraceInst::Store {
                 vaddr,
                 size,
                 data_dep,
             } => {
-                w.write_all(&[2])?;
-                write_varint(w, vaddr.raw())?;
-                w.write_all(&[size])?;
-                write_varint(w, dep_to_wire(data_dep))?;
+                self.w.write_all(&[2])?;
+                write_varint(&mut self.w, vaddr.raw())?;
+                self.w.write_all(&[size])?;
+                write_varint(&mut self.w, dep_to_wire(data_dep))?;
             }
             TraceInst::Branch { mispredicted, dep } => {
-                w.write_all(&[3, u8::from(mispredicted)])?;
-                write_varint(w, dep_to_wire(dep))?;
+                self.w.write_all(&[3, u8::from(mispredicted)])?;
+                write_varint(&mut self.w, dep_to_wire(dep))?;
             }
         }
+        self.written += 1;
+        Ok(())
     }
-    Ok(())
+
+    /// Records written so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flushes and returns the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flush errors.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.w.flush()?;
+        Ok(self.w)
+    }
 }
 
 /// Reads a complete trace from `r`.
@@ -138,28 +216,79 @@ pub fn write_trace(
 /// Returns `InvalidData` for a bad magic/version/tag, and propagates I/O
 /// errors. A clean EOF at a record boundary ends the trace.
 pub fn read_trace(r: &mut impl Read) -> io::Result<Vec<TraceInst>> {
-    let mut header = [0u8; 5];
-    r.read_exact(&mut header)?;
-    if &header[..4] != MAGIC {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "bad trace magic",
-        ));
+    TraceReader::new(r)?.collect()
+}
+
+/// Streaming `.mtr` reader: an iterator of records pulled straight off the
+/// underlying [`Read`]. Nothing beyond the current record is buffered, so
+/// arbitrarily large traces can feed the simulator directly — see
+/// [`TraceReader::into_insts`] for the panicking adaptor `OoOCore::run`
+/// consumes.
+///
+/// # Example
+///
+/// ```
+/// # use std::error::Error;
+/// # fn main() -> Result<(), Box<dyn Error>> {
+/// use malec_trace::record::{write_trace, TraceReader};
+/// use malec_trace::{all_benchmarks, WorkloadGenerator};
+///
+/// let insts: Vec<_> = WorkloadGenerator::new(&all_benchmarks()[0], 1).take(50).collect();
+/// let mut buf = Vec::new();
+/// write_trace(&mut buf, insts.iter().copied())?;
+/// let streamed: Vec<_> = TraceReader::new(buf.as_slice())?.collect::<std::io::Result<_>>()?;
+/// assert_eq!(streamed, insts);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct TraceReader<R> {
+    r: R,
+    /// Set once EOF or an error was yielded; further `next` calls return
+    /// `None` instead of misreading the stream mid-record.
+    done: bool,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Opens a trace on `r`, validating the header.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` for a bad magic or version; propagates I/O
+    /// errors.
+    pub fn new(mut r: R) -> io::Result<Self> {
+        let mut header = [0u8; 5];
+        r.read_exact(&mut header)?;
+        if &header[..4] != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "bad trace magic",
+            ));
+        }
+        if header[4] != VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "unsupported trace version",
+            ));
+        }
+        Ok(Self { r, done: false })
     }
-    if header[4] != VERSION {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "unsupported trace version",
-        ));
+
+    /// Adapts the reader into the infallible iterator the core consumes,
+    /// panicking on a malformed or truncated record (replay of a corrupt
+    /// trace has no meaningful recovery inside a simulation).
+    pub fn into_insts(self) -> impl Iterator<Item = TraceInst> {
+        self.map(|r| r.unwrap_or_else(|e| panic!("corrupt .mtr trace: {e}")))
     }
-    let mut out = Vec::new();
-    loop {
+
+    fn read_record(&mut self) -> io::Result<Option<TraceInst>> {
         let mut tag = [0u8; 1];
-        match r.read_exact(&mut tag) {
+        match self.r.read_exact(&mut tag) {
             Ok(()) => {}
-            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(out),
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
             Err(e) => return Err(e),
         }
+        let r = &mut self.r;
         let inst = match tag[0] {
             0 => {
                 let mut latency = [0u8; 1];
@@ -204,7 +333,28 @@ pub fn read_trace(r: &mut impl Read) -> io::Result<Vec<TraceInst>> {
                 ))
             }
         };
-        out.push(inst);
+        Ok(Some(inst))
+    }
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = io::Result<TraceInst>;
+
+    fn next(&mut self) -> Option<io::Result<TraceInst>> {
+        if self.done {
+            return None;
+        }
+        match self.read_record() {
+            Ok(Some(inst)) => Some(Ok(inst)),
+            Ok(None) => {
+                self.done = true;
+                None
+            }
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
+            }
+        }
     }
 }
 
@@ -255,6 +405,50 @@ mod tests {
         buf.push(9);
         let err = read_trace(&mut buf.as_slice()).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn streaming_reader_matches_whole_trace_read() {
+        let insts: Vec<TraceInst> = WorkloadGenerator::new(&all_benchmarks()[2], 4)
+            .take(3_000)
+            .collect();
+        let mut buf = Vec::new();
+        let mut w = TraceWriter::new(&mut buf).expect("header");
+        for &i in &insts {
+            w.write(i).expect("record");
+        }
+        assert_eq!(w.written(), 3_000);
+        w.finish().expect("finish");
+        let streamed: Vec<TraceInst> = TraceReader::new(buf.as_slice())
+            .expect("open")
+            .collect::<io::Result<_>>()
+            .expect("records");
+        assert_eq!(streamed, insts);
+        assert_eq!(read_trace(&mut buf.as_slice()).expect("read"), insts);
+    }
+
+    #[test]
+    fn streaming_reader_stops_after_an_error() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, std::iter::empty()).expect("write");
+        buf.push(9); // unknown tag
+        let mut reader = TraceReader::new(buf.as_slice()).expect("open");
+        assert!(reader.next().expect("one item").is_err());
+        assert!(reader.next().is_none(), "fused after the error");
+    }
+
+    #[test]
+    fn into_insts_feeds_plain_instructions() {
+        let insts: Vec<TraceInst> = WorkloadGenerator::new(&all_benchmarks()[0], 8)
+            .take(200)
+            .collect();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, insts.iter().copied()).expect("write");
+        let replayed: Vec<TraceInst> = TraceReader::new(buf.as_slice())
+            .expect("open")
+            .into_insts()
+            .collect();
+        assert_eq!(replayed, insts);
     }
 
     #[test]

@@ -427,6 +427,16 @@ impl SimConfig {
         Ok(())
     }
 
+    /// Resolves a figure label (as produced by [`SimConfig::label`]) back
+    /// to its configuration: `Base1ldst`, `Base2ld1st`,
+    /// `Base2ld1st_1cycleL1`, `MALEC`, or `MALEC_3cycleL1`. This is the
+    /// vocabulary scenario sweep specs name configurations with.
+    pub fn by_label(label: &str) -> Option<SimConfig> {
+        Self::figure4_set()
+            .into_iter()
+            .find(|cfg| cfg.label() == label)
+    }
+
     /// The five configurations plotted in Fig. 4, in the paper's order:
     /// `Base1ldst`, `Base2ld1st_1cycleL1`, `Base2ld1st`, `MALEC`,
     /// `MALEC_3cycleL1`.
@@ -512,6 +522,14 @@ mod tests {
         for cfg in &set {
             cfg.validate().expect("paper configs validate");
         }
+    }
+
+    #[test]
+    fn by_label_roundtrips_the_figure4_set() {
+        for cfg in SimConfig::figure4_set() {
+            assert_eq!(SimConfig::by_label(&cfg.label()), Some(cfg.clone()));
+        }
+        assert_eq!(SimConfig::by_label("NoSuchConfig"), None);
     }
 
     #[test]

@@ -4,8 +4,10 @@
 //! buffer deadlocks and lost completions would hide.
 
 use malec_core::sim::AnyInterface;
+use malec_core::ScenarioSource;
 use malec_cpu::OoOCore;
-use malec_harness::SimConfig;
+use malec_harness::{benchmark_named, SimConfig, Simulator};
+use malec_trace::scenario::preset_named;
 use malec_trace::TraceInst;
 use malec_types::addr::VAddr;
 
@@ -171,6 +173,112 @@ fn wide_malec_beats_narrow_on_parallel_loads() {
         wide.cycles,
         narrow.cycles
     );
+}
+
+/// Runs a preset scenario under `cfg` through the full simulator.
+fn run_scenario(cfg: SimConfig, scenario: &str, insts: u64) -> malec_core::RunSummary {
+    let s = preset_named(scenario).unwrap_or_else(|| panic!("unknown preset {scenario}"));
+    Simulator::new(cfg)
+        .run_source(&ScenarioSource::Scenario(s), insts, 99)
+        .expect("generator sources cannot fail")
+}
+
+#[test]
+fn uwt_coverage_collapses_under_tlb_thrash() {
+    // Way determination rides on translation locality: the uWT is coupled
+    // to the uTLB, so a page pool far beyond the TLB starves it of usable
+    // way info. A cache-friendly benchmark covers most accesses; the
+    // thrash scenario must collapse that, while the model keeps running.
+    let friendly = Simulator::new(SimConfig::malec()).run(
+        &benchmark_named("gzip").expect("gzip exists"),
+        20_000,
+        99,
+    );
+    let thrashed = run_scenario(SimConfig::malec(), "tlb_thrash", 20_000);
+    assert!(
+        friendly.interface.coverage() > 0.7,
+        "gzip coverage should be high: {}",
+        friendly.interface.coverage()
+    );
+    assert!(
+        thrashed.interface.coverage() < 0.3,
+        "TLB thrash must collapse uWT coverage: {}",
+        thrashed.interface.coverage()
+    );
+    assert!(
+        thrashed.utlb_miss_rate > 5.0 * friendly.utlb_miss_rate.max(0.01),
+        "thrash uTLB miss rate {} vs gzip {}",
+        thrashed.utlb_miss_rate,
+        friendly.utlb_miss_rate
+    );
+}
+
+#[test]
+fn merge_rate_rises_under_same_line_bursts() {
+    // The store-burst pattern reads each just-written line repeatedly, so
+    // MALEC's load merging should service a large share of loads from a
+    // concurrent same-line access; the bank-conflict pattern never touches
+    // the same line twice in a row and is the natural control.
+    let bursty = run_scenario(SimConfig::malec(), "store_burst", 20_000);
+    let strided = run_scenario(SimConfig::malec(), "bank_conflict", 20_000);
+    assert!(
+        bursty.interface.merge_ratio() > 0.2,
+        "same-line bursts must merge: {}",
+        bursty.interface.merge_ratio()
+    );
+    assert!(
+        bursty.interface.merge_ratio() > 4.0 * strided.interface.merge_ratio().max(0.001),
+        "burst merge ratio {} vs bank-conflict {}",
+        bursty.interface.merge_ratio(),
+        strided.interface.merge_ratio()
+    );
+}
+
+#[test]
+fn store_bursts_never_deadlock_any_interface() {
+    // SB(24) → MB(4) draining under sustained same-line store pressure is
+    // where a lost wakeup or a full-buffer livelock would hide. Burst
+    // length is pushed past the store buffer's 24 entries with no gap at
+    // all; the core panics after 100k commit-less cycles, so completion IS
+    // the proof of forward progress.
+    use malec_trace::scenario::{Scenario, SegmentKind, StoreBurstParams};
+    let flood = Scenario::single(
+        "store_flood",
+        SegmentKind::StoreBurst(StoreBurstParams {
+            burst: 32,
+            loads_after: 2,
+            lines_back: 8,
+            gap: 0,
+            pages: 16,
+        }),
+    );
+    for cfg in all_configs() {
+        let label = cfg.label();
+        let s = Simulator::new(cfg)
+            .run_source(&ScenarioSource::Scenario(flood.clone()), 12_000, 99)
+            .expect("generator sources cannot fail");
+        assert_eq!(s.core.committed, 12_000, "{label}");
+        assert!(s.core.stores > 9_000, "{label}: flood is store-dominated");
+    }
+    // The preset (balanced) variant must also complete everywhere.
+    for cfg in all_configs() {
+        let label = cfg.label();
+        let s = run_scenario(cfg, "store_burst", 12_000);
+        assert_eq!(s.core.committed, 12_000, "{label}");
+        assert!(s.core.stores > 2_000, "{label}: bursts persist");
+    }
+}
+
+#[test]
+fn bank_conflicts_serialize_the_single_ported_baseline() {
+    // Stride-4-lines loads all land in one bank. Base2ld1st's extra read
+    // port cannot help inside one bank either, but MALEC's grouping can
+    // still batch same-page accesses; nobody may deadlock or lose ops.
+    for cfg in all_configs() {
+        let label = cfg.label();
+        let s = run_scenario(cfg, "bank_conflict", 10_000);
+        assert_eq!(s.core.committed, 10_000, "{label}");
+    }
 }
 
 #[test]
