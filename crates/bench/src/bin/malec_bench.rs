@@ -16,15 +16,17 @@
 //!
 //! Flags: `--record` prints fresh `GOLDEN_DIGESTS` /
 //! `SCENARIO_GOLDEN_DIGESTS` tables instead of checking (use only after an
-//! intentional behavior change).
+//! intentional behavior change); `--jobs N` caps the parallel fan-out at
+//! `N` workers instead of consuming every host core (results are
+//! bit-identical at any cap).
 
 use std::time::Instant;
 
 use malec_bench::goldens::{
-    digest, run_scenario_cells, BENCH_BENCHMARKS, GOLDEN_DIGESTS, SCENARIO_GOLDEN_DIGESTS,
+    digest, run_scenario_cells_with, BENCH_BENCHMARKS, GOLDEN_DIGESTS, SCENARIO_GOLDEN_DIGESTS,
 };
-use malec_bench::{run_matrix_on, run_matrix_serial_on, DEFAULT_INSTS};
-use malec_core::parallel::workers_used;
+use malec_bench::{run_matrix_on_with, run_matrix_serial_on, DEFAULT_INSTS};
+use malec_core::parallel::workers_for;
 use malec_core::RunSummary;
 use malec_trace::all_benchmarks;
 use malec_trace::profile::BenchmarkProfile;
@@ -183,14 +185,26 @@ fn write_json(
 }
 
 fn main() {
-    let record = std::env::args().any(|a| a == "--record");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let record = args.iter().any(|a| a == "--record");
+    let jobs: Option<usize> = args.iter().position(|a| a == "--jobs").map(|i| {
+        let Some(value) = args.get(i + 1) else {
+            eprintln!("malec-bench: --jobs needs a worker count");
+            std::process::exit(2);
+        };
+        value.parse().unwrap_or_else(|_| {
+            eprintln!("malec-bench: bad value `{value}` for --jobs");
+            std::process::exit(2);
+        })
+    });
     let configs = configs();
     let benchmarks = benchmarks();
     let cells = configs.len() * benchmarks.len();
     // What the parallel matrix actually runs with: available parallelism,
     // capped by the cell count (previously this quoted the raw host
-    // parallelism, which overstates small sweeps on big machines).
-    let workers = workers_used(cells);
+    // parallelism, which overstates small sweeps on big machines) and by
+    // the operator's --jobs cap.
+    let workers = workers_for(cells, jobs);
 
     eprintln!(
         "malec-bench: {cells} cells ({} configs x {} benchmarks) at {DEFAULT_INSTS} insts, \
@@ -208,7 +222,7 @@ fn main() {
     );
 
     let t = Instant::now();
-    let parallel = run_matrix_on(&benchmarks, &configs, DEFAULT_INSTS);
+    let parallel = run_matrix_on_with(&benchmarks, &configs, DEFAULT_INSTS, jobs);
     let parallel_s = t.elapsed().as_secs_f64();
     eprintln!(
         "  parallel: {parallel_s:.3}s  ({:.2} cells/s, {:.2}x)",
@@ -229,7 +243,7 @@ fn main() {
     }
 
     let t = Instant::now();
-    let scenario_cells = run_scenario_cells();
+    let scenario_cells = run_scenario_cells_with(jobs);
     let scenario_s = t.elapsed().as_secs_f64();
     eprintln!(
         "  scenarios: {scenario_s:.3}s  ({} cells at {} insts)",

@@ -17,7 +17,7 @@
 //!
 //! and replace the [`GOLDEN_DIGESTS`] table with the printed one.
 
-use malec_core::parallel::parallel_map;
+use malec_core::parallel::{parallel_map_with, workers_for};
 use malec_core::{RunSummary, ScenarioSource, Simulator};
 use malec_trace::scenario::presets;
 use malec_trace::Scenario;
@@ -46,6 +46,11 @@ pub fn scenario_configs() -> Vec<SimConfig> {
 /// [`scenario_configs`] entry, scenario-major, at [`SCENARIO_INSTS`]
 /// instructions and the fixed [`crate::DEFAULT_SEED`].
 pub fn run_scenario_cells() -> Vec<RunSummary> {
+    run_scenario_cells_with(None)
+}
+
+/// [`run_scenario_cells`] with an operator-imposed worker cap (`--jobs N`).
+pub fn run_scenario_cells_with(jobs: Option<usize>) -> Vec<RunSummary> {
     let cells: Vec<(Scenario, SimConfig)> = presets()
         .into_iter()
         .flat_map(|s| {
@@ -54,106 +59,27 @@ pub fn run_scenario_cells() -> Vec<RunSummary> {
                 .map(move |cfg| (s.clone(), cfg))
         })
         .collect();
-    parallel_map(cells, |(scenario, cfg)| {
-        Simulator::new(cfg.clone())
-            .run_source(
-                &ScenarioSource::Scenario(scenario.clone()),
-                SCENARIO_INSTS,
-                crate::DEFAULT_SEED,
-            )
-            .expect("generator sources cannot fail")
-    })
+    let workers = workers_for(cells.len(), jobs);
+    parallel_map_with(
+        cells,
+        |(scenario, cfg)| {
+            Simulator::new(cfg.clone())
+                .run_source(
+                    &ScenarioSource::Scenario(scenario.clone()),
+                    SCENARIO_INSTS,
+                    crate::DEFAULT_SEED,
+                )
+                .expect("generator sources cannot fail")
+        },
+        workers,
+    )
 }
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x100_0000_01b3;
-
-#[inline]
-fn fold(h: u64, v: u64) -> u64 {
-    let mut h = h ^ v;
-    h = h.wrapping_mul(FNV_PRIME);
-    h
-}
-
-/// FNV-1a digest over every behavioral field of `s`.
-pub fn digest(s: &RunSummary) -> u64 {
-    let mut h = FNV_OFFSET;
-    for b in s.config.bytes() {
-        h = fold(h, u64::from(b));
-    }
-    for b in s.benchmark.bytes() {
-        h = fold(h, u64::from(b));
-    }
-    let c = &s.core;
-    for v in [
-        c.cycles,
-        c.committed,
-        c.loads,
-        c.stores,
-        c.branches,
-        c.agu_stall_cycles,
-        c.issued_ops,
-    ] {
-        h = fold(h, v);
-    }
-    let i = &s.interface;
-    for v in [
-        i.loads_serviced,
-        i.merged_loads,
-        i.stores_accepted,
-        i.mbe_writes,
-        i.groups,
-        i.group_loads,
-        i.reduced_accesses,
-        i.conventional_accesses,
-        i.held_load_cycles,
-        i.translations,
-        i.store_translations_shared,
-    ] {
-        h = fold(h, v);
-    }
-    let k = &s.counters;
-    for v in [
-        k.l1_tag_bank_reads,
-        k.l1_data_subblock_reads,
-        k.l1_data_subblock_writes,
-        k.l1_tag_bank_writes,
-        k.utlb_lookups,
-        k.utlb_fills,
-        k.utlb_reverse_lookups,
-        k.tlb_lookups,
-        k.tlb_fills,
-        k.tlb_reverse_lookups,
-        k.uwt_reads,
-        k.uwt_writes,
-        k.uwt_bit_updates,
-        k.wt_reads,
-        k.wt_writes,
-        k.wt_bit_updates,
-        k.wdu_lookups,
-        k.wdu_writes,
-        k.sb_lookups_full,
-        k.sb_lookups_page_segment,
-        k.sb_lookups_narrow,
-        k.mb_lookups_full,
-        k.mb_lookups_page_segment,
-        k.mb_lookups_narrow,
-        k.input_buffer_compares,
-        k.arbitration_compares,
-    ] {
-        h = fold(h, v);
-    }
-    for v in [
-        s.energy.dynamic.to_bits(),
-        s.energy.leakage.to_bits(),
-        s.l1_miss_rate.to_bits(),
-        s.l2_miss_rate.to_bits(),
-        s.utlb_miss_rate.to_bits(),
-    ] {
-        h = fold(h, v);
-    }
-    h
-}
+/// The digest implementation moved to `malec_core::digest` in PR 3 so
+/// goldens, replay-verify and the `malec-serve` result cache share one
+/// definition; this re-export keeps the historical `goldens::digest` path
+/// working for benches and external callers.
+pub use malec_core::digest::digest;
 
 /// `(benchmark, config label, digest)` per cell of the fixed workload,
 /// row-major in `(BENCH_BENCHMARKS, Table I configs)` order. Recorded at

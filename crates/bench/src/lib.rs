@@ -5,7 +5,7 @@
 //! benchmark profiles over the five analyzed configurations — lives here so
 //! the individual benches stay declarative.
 
-use malec_core::parallel::parallel_map;
+use malec_core::parallel::{parallel_map_with, workers_for};
 use malec_core::report::geo_mean;
 use malec_core::RunSummary;
 use malec_core::Simulator;
@@ -45,11 +45,28 @@ pub fn run_matrix_on(
     configs: &[SimConfig],
     insts: u64,
 ) -> Vec<Vec<RunSummary>> {
+    run_matrix_on_with(benchmarks, configs, insts, None)
+}
+
+/// [`run_matrix_on`] with an operator-imposed worker cap (the `--jobs N`
+/// flag): `None` uses every available core, `Some(n)` fans out over at most
+/// `n` workers. The result is bit-identical either way.
+pub fn run_matrix_on_with(
+    benchmarks: &[BenchmarkProfile],
+    configs: &[SimConfig],
+    insts: u64,
+    jobs: Option<usize>,
+) -> Vec<Vec<RunSummary>> {
     let cells: Vec<(&BenchmarkProfile, &SimConfig)> = benchmarks
         .iter()
         .flat_map(|profile| configs.iter().map(move |config| (profile, config)))
         .collect();
-    let summaries = parallel_map(cells, |(profile, config)| run_one(config, profile, insts));
+    let workers = workers_for(cells.len(), jobs);
+    let summaries = parallel_map_with(
+        cells,
+        |(profile, config)| run_one(config, profile, insts),
+        workers,
+    );
     rows_of(summaries, configs.len())
 }
 
@@ -141,6 +158,19 @@ mod tests {
         let profile = &all_benchmarks()[0];
         let s = run_one(&SimConfig::base1ldst(), profile, 2_000);
         assert_eq!(s.core.committed, 2_000);
+    }
+
+    #[test]
+    fn jobs_capped_matrix_is_bit_identical() {
+        let benches: Vec<_> = all_benchmarks().into_iter().take(2).collect();
+        let configs = [SimConfig::base1ldst(), SimConfig::malec()];
+        let free = run_matrix_on_with(&benches, &configs, 2_000, None);
+        let capped = run_matrix_on_with(&benches, &configs, 2_000, Some(1));
+        for (frow, crow) in free.iter().zip(&capped) {
+            for (f, c) in frow.iter().zip(crow) {
+                assert_eq!(crate::goldens::digest(f), crate::goldens::digest(c));
+            }
+        }
     }
 
     #[test]

@@ -1,16 +1,18 @@
-//! `malec-cli` — the TOML-driven scenario sweep runner.
+//! `malec-cli` — the TOML-driven scenario sweep runner and `malec-serve`
+//! client.
 //!
-//! The library side holds everything the binary does, so it is testable
-//! without spawning processes:
+//! The spec language, TOML parser and report schema moved to `malec-serve`
+//! in PR 3 (a submitted job *is* a spec, so the service owns the format);
+//! they are re-exported here under their historical paths. What remains
+//! native to this crate:
 //!
-//! * [`toml`] — the minimal TOML parser (the vendored serde is an
-//!   API-shape stub, so parsing is hand-rolled here);
-//! * [`spec`] — the `[scenario]` / `[sweep]` / `[report]` spec model;
-//! * [`report`] — JSON report emission, shape-compatible with
-//!   `BENCH_simulator.json`;
-//! * [`run`] — the record → sweep → replay-verify pipeline.
+//! * [`run`] — the local record → sweep → replay-verify pipeline behind
+//!   `malec-cli run`;
+//! * the binary's `serve` / `submit` / `status` subcommands, thin wrappers
+//!   over [`malec_serve::server`] and [`malec_serve::client`].
 
-pub mod report;
 pub mod run;
-pub mod spec;
-pub mod toml;
+
+pub use malec_serve::report;
+pub use malec_serve::spec;
+pub use malec_serve::toml;

@@ -1,28 +1,39 @@
 //! `malec-cli` — compose workloads from a TOML spec, sweep configurations,
-//! record/replay `.mtr` traces, and emit JSON reports.
+//! record/replay `.mtr` traces, emit JSON reports, and run or drive a
+//! `malec-serve` batch service.
 //!
 //! ```text
-//! malec-cli run <spec.toml>                 record + sweep + replay-verify + report
+//! malec-cli run <spec.toml> [--jobs N]      record + sweep + replay-verify + report
 //! malec-cli record <spec.toml> [-o F.mtr]   record the scenario stream only
 //! malec-cli replay <F.mtr> [--config L] [--insts N] [--seed N]
 //! malec-cli presets                         list the built-in scenarios
+//! malec-cli serve [--addr A] [--cache F] [--jobs N]
+//!                                           run the batch service (blocking)
+//! malec-cli submit <spec.toml> [--addr A] [-o OUT] [--no-wait]
+//!                                           submit the spec to a server
+//! malec-cli status [JOB] [--addr A]         job status, or cache stats without JOB
 //! ```
 //!
 //! Exit status is nonzero on any error **and** on a replay-digest mismatch,
-//! so CI can gate on `run`.
+//! so CI can gate on `run`. A spec submitted with `submit` produces a
+//! report bit-identical (per cell) to `run` on the same spec — the server
+//! just may answer it from its result cache without simulating.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Duration;
 
-use malec_bench::goldens::digest;
 use malec_cli::run::{record_trace, run_spec_file};
-use malec_cli::spec::parse_spec;
+use malec_core::digest::digest;
 use malec_core::{ScenarioSource, Simulator};
+use malec_serve::client::Client;
+use malec_serve::server::{Server, DEFAULT_ADDR};
+use malec_serve::spec::parse_spec;
 use malec_trace::scenario::presets;
 use malec_types::SimConfig;
 
 fn usage() -> String {
-    "usage:\n  malec-cli run <spec.toml>\n  malec-cli record <spec.toml> [-o out.mtr]\n  malec-cli replay <trace.mtr> [--config LABEL] [--insts N] [--seed N] [--name NAME]\n  malec-cli presets\n\nThe replay digest folds the workload name; pass --name <scenario name>\n(the [scenario] name the trace was recorded under) to make it comparable\nwith the digests in a `run` report."
+    "usage:\n  malec-cli run <spec.toml> [--jobs N]\n  malec-cli record <spec.toml> [-o out.mtr]\n  malec-cli replay <trace.mtr> [--config LABEL] [--insts N] [--seed N] [--name NAME]\n  malec-cli presets\n  malec-cli serve [--addr HOST:PORT] [--cache FILE] [--jobs N]\n  malec-cli submit <spec.toml> [--addr HOST:PORT] [-o report.json] [--no-wait]\n  malec-cli status [JOB] [--addr HOST:PORT]\n\nThe replay digest folds the workload name; pass --name <scenario name>\n(the [scenario] name the trace was recorded under) to make it comparable\nwith the digests in a `run` report.\n\n`serve` hosts the batch service (default address 127.0.0.1:4173); `submit`\nand `status` talk to it. --cache persists the result cache across\nrestarts; --jobs caps worker fan-out everywhere it appears."
         .to_owned()
 }
 
@@ -39,9 +50,12 @@ fn main() -> ExitCode {
 
 fn dispatch(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
-        Some("run") => cmd_run(args.get(1).ok_or_else(usage)?),
+        Some("run") => cmd_run(&args[1..]),
         Some("record") => cmd_record(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("submit") => cmd_submit(&args[1..]),
+        Some("status") => cmd_status(&args[1..]),
         Some("presets") => {
             cmd_presets();
             Ok(())
@@ -50,8 +64,34 @@ fn dispatch(args: &[String]) -> Result<(), String> {
     }
 }
 
-fn cmd_run(spec_path: &str) -> Result<(), String> {
-    let outcome = run_spec_file(Path::new(spec_path))?;
+/// Pulls a `--flag VALUE` pair out of `args`, parsing the value.
+fn take_flag<T: std::str::FromStr>(
+    args: &mut Vec<String>,
+    flag: &str,
+) -> Result<Option<T>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => {
+            if i + 1 >= args.len() {
+                return Err(format!("{flag} needs a value\n{}", usage()));
+            }
+            let value = args.remove(i + 1);
+            args.remove(i);
+            value
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("bad value `{value}` for {flag}\n{}", usage()))
+        }
+    }
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let jobs: Option<usize> = take_flag(&mut args, "--jobs")?;
+    let [spec_path] = args.as_slice() else {
+        return Err(usage());
+    };
+    let outcome = run_spec_file(Path::new(spec_path), jobs)?;
     println!(
         "scenario {} ({}): {} cells x {} insts, {} worker(s), {:.3}s",
         outcome.spec.scenario.name,
@@ -111,7 +151,7 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
     let trace = args.first().ok_or_else(usage)?;
     let mut config = SimConfig::malec();
     let mut insts = u64::MAX;
-    let mut seed = malec_cli::spec::DEFAULT_SEED;
+    let mut seed = malec_serve::spec::DEFAULT_SEED;
     let mut name: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
@@ -171,6 +211,124 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
         digest(&summary),
     );
     Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let addr: String = take_flag(&mut args, "--addr")?.unwrap_or_else(|| DEFAULT_ADDR.to_owned());
+    let cache: Option<String> = take_flag(&mut args, "--cache")?;
+    let jobs: Option<usize> = take_flag(&mut args, "--jobs")?;
+    if !args.is_empty() {
+        return Err(format!("unexpected arguments {args:?}\n{}", usage()));
+    }
+    let server = Server::bind(addr.as_str(), jobs, cache.as_deref().map(Path::new))
+        .map_err(|e| format!("bind {addr}: {e}"))?;
+    let bound = server.local_addr().map_err(|e| e.to_string())?;
+    println!(
+        "malec-serve listening on {bound} ({} worker(s), cache {})",
+        server.engine().workers(),
+        cache.as_deref().unwrap_or("in-memory"),
+    );
+    println!("  POST /v1/jobs          submit a TOML sweep spec");
+    println!("  GET  /v1/jobs/<id>     job status");
+    println!("  GET  /v1/jobs/<id>/report");
+    println!("  GET  /v1/cache/stats   result-cache counters");
+    println!("  POST /v1/shutdown      drain and stop");
+    server.run().map_err(|e| e.to_string())
+}
+
+fn cmd_submit(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let addr: String = take_flag(&mut args, "--addr")?.unwrap_or_else(|| DEFAULT_ADDR.to_owned());
+    let out: Option<String> = take_flag(&mut args, "-o")?;
+    let no_wait = if let Some(i) = args.iter().position(|a| a == "--no-wait") {
+        args.remove(i);
+        true
+    } else {
+        false
+    };
+    let [spec_path] = args.as_slice() else {
+        return Err(usage());
+    };
+    let text = std::fs::read_to_string(spec_path).map_err(|e| format!("read {spec_path}: {e}"))?;
+    // Parse locally first: a bad spec should fail with the parser's message
+    // before any network round trip, and the report path comes from it.
+    let spec = parse_spec(&text).map_err(|e| format!("{spec_path}: {e}"))?;
+
+    let client = Client::new(addr.clone());
+    let job = client.submit(&text)?;
+    println!(
+        "submitted `{}` to {addr}: job {job} ({} cells)",
+        spec.scenario.name,
+        spec.configs.len()
+    );
+    if no_wait {
+        println!("  poll with: malec-cli status {job} --addr {addr}");
+        return Ok(());
+    }
+
+    let view = client.wait(job, Duration::from_secs(600))?;
+    let report = client.report(job)?;
+    let out_path = out.unwrap_or_else(|| spec.out.clone());
+    if let Some(parent) = Path::new(&out_path)
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+    {
+        std::fs::create_dir_all(parent).map_err(|e| format!("create {}: {e}", parent.display()))?;
+    }
+    std::fs::write(&out_path, &report).map_err(|e| format!("write {out_path}: {e}"))?;
+    println!(
+        "job {job} done in {:.3}s: {} simulated, {} cached, {} coalesced",
+        view.wall_seconds.unwrap_or(0.0),
+        view.simulated,
+        view.cached,
+        view.coalesced,
+    );
+    println!(
+        "  cache: {}/{} cells served from cache",
+        view.served_without_simulation(),
+        view.cells
+    );
+    println!("  report -> {out_path}");
+    Ok(())
+}
+
+fn cmd_status(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let addr: String = take_flag(&mut args, "--addr")?.unwrap_or_else(|| DEFAULT_ADDR.to_owned());
+    let client = Client::new(addr.clone());
+    match args.as_slice() {
+        [] => {
+            let stats = client.cache_stats()?;
+            println!("cache at {addr}:");
+            println!("  entries          {}", stats.entries);
+            println!("  loaded from disk {}", stats.loaded);
+            println!("  hits             {}", stats.hits);
+            println!("  misses           {}", stats.misses);
+            println!("  coalesced        {}", stats.coalesced);
+            println!("  bytes appended   {}", stats.bytes_appended);
+            Ok(())
+        }
+        [job] => {
+            let job: u64 = job
+                .parse()
+                .map_err(|_| format!("bad job id `{job}`\n{}", usage()))?;
+            let view = client.status(job)?;
+            println!(
+                "job {job} (`{}`): {} — {}/{} cells done ({} simulated, {} cached, {} coalesced, {} pending)",
+                view.scenario,
+                view.state,
+                view.cells - view.pending,
+                view.cells,
+                view.simulated,
+                view.cached,
+                view.coalesced,
+                view.pending,
+            );
+            Ok(())
+        }
+        _ => Err(usage()),
+    }
 }
 
 fn cmd_presets() {

@@ -4,8 +4,9 @@
 //!
 //! 1. **Record** — generate the scenario's instruction stream once and
 //!    stream it into the spec's `.mtr` file;
-//! 2. **Sweep** — fan the configurations out over [`parallel_map`], each
-//!    cell simulating the *generator* stream;
+//! 2. **Sweep** — fan the configurations out over [`parallel_map_with`]
+//!    (capped by the operator's `--jobs N`, if given), each cell simulating
+//!    the *generator* stream;
 //! 3. **Replay-verify** — each cell also simulates the recorded `.mtr`
 //!    stream and both summaries are digested: replay must be bit-identical
 //!    to generation, every cell, every config;
@@ -16,12 +17,12 @@ use std::io::BufWriter;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
-use malec_core::parallel::{parallel_map, workers_used};
+use malec_core::parallel::{parallel_map_with, workers_for};
 use malec_core::{ScenarioSource, Simulator};
 use malec_trace::TraceWriter;
 
-use crate::report::{render, CellResult};
-use crate::spec::{parse_spec, SweepSpec};
+use malec_serve::report::{render, CellResult};
+use malec_serve::spec::{parse_spec, SweepSpec};
 
 /// Everything a finished spec run produced.
 #[derive(Debug)]
@@ -73,7 +74,9 @@ pub fn record_trace(spec: &SweepSpec, path: &Path) -> Result<u64, String> {
 }
 
 /// Runs a parsed spec end to end. Paths in the spec are resolved relative
-/// to `base_dir` (the process working directory for the CLI).
+/// to `base_dir` (the process working directory for the CLI). `jobs` caps
+/// the parallel fan-out (`None` uses every available core; results are
+/// bit-identical at any cap).
 ///
 /// # Errors
 ///
@@ -84,6 +87,7 @@ pub fn run_parsed_spec(
     spec: SweepSpec,
     spec_path: &str,
     base_dir: &Path,
+    jobs: Option<usize>,
 ) -> Result<SweepOutcome, String> {
     let mtr_path = base_dir.join(&spec.mtr);
     let out_path = base_dir.join(&spec.out);
@@ -95,18 +99,22 @@ pub fn run_parsed_spec(
     };
     let generate = ScenarioSource::Scenario(spec.scenario.clone());
     let configs = spec.configs.clone();
-    let workers = workers_used(configs.len());
+    let workers = workers_for(configs.len(), jobs);
     let t = Instant::now();
-    let cells: Vec<Result<CellResult, String>> = parallel_map(configs, |cfg| {
-        let sim = Simulator::new(cfg.clone());
-        let generated = sim
-            .run_source(&generate, spec.insts, spec.seed)
-            .map_err(|e| format!("{}: generator run: {e}", cfg.label()))?;
-        let replayed = sim
-            .run_source(&replay, spec.insts, spec.seed)
-            .map_err(|e| format!("{}: replay run: {e}", cfg.label()))?;
-        Ok(CellResult::new(generated, &replayed))
-    });
+    let cells: Vec<Result<CellResult, String>> = parallel_map_with(
+        configs,
+        |cfg| {
+            let sim = Simulator::new(cfg.clone());
+            let generated = sim
+                .run_source(&generate, spec.insts, spec.seed)
+                .map_err(|e| format!("{}: generator run: {e}", cfg.label()))?;
+            let replayed = sim
+                .run_source(&replay, spec.insts, spec.seed)
+                .map_err(|e| format!("{}: replay run: {e}", cfg.label()))?;
+            Ok(CellResult::new(generated, &replayed))
+        },
+        workers,
+    );
     let wall_seconds = t.elapsed().as_secs_f64();
     let cells: Vec<CellResult> = cells.into_iter().collect::<Result<_, _>>()?;
 
@@ -136,17 +144,18 @@ pub fn run_parsed_spec(
     })
 }
 
-/// Reads and runs a spec file.
+/// Reads and runs a spec file. `jobs` caps the fan-out as in
+/// [`run_parsed_spec`].
 ///
 /// # Errors
 ///
 /// Returns a descriptive message for unreadable files, spec errors, and
 /// I/O failures during the run.
-pub fn run_spec_file(path: &Path) -> Result<SweepOutcome, String> {
+pub fn run_spec_file(path: &Path, jobs: Option<usize>) -> Result<SweepOutcome, String> {
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
     let spec = parse_spec(&text).map_err(|e| format!("{}: {e}", path.display()))?;
-    run_parsed_spec(spec, &path.display().to_string(), Path::new("."))
+    run_parsed_spec(spec, &path.display().to_string(), Path::new("."), jobs)
 }
 
 #[cfg(test)]
@@ -170,7 +179,7 @@ mod tests {
         let dir = std::env::temp_dir().join("malec_cli_run_test");
         std::fs::create_dir_all(&dir).expect("tmp dir");
         let spec = demo_spec(&dir, "cli_e2e");
-        let outcome = run_parsed_spec(spec, "inline", &dir).expect("run succeeds");
+        let outcome = run_parsed_spec(spec, "inline", &dir, None).expect("run succeeds");
         assert_eq!(outcome.cells.len(), 2);
         assert!(outcome.all_replays_match(), "replay must be bit-identical");
         assert!(outcome.workers >= 1);
@@ -194,7 +203,22 @@ mod tests {
 
     #[test]
     fn unreadable_spec_is_a_clean_error() {
-        let e = run_spec_file(Path::new("/nonexistent/spec.toml")).expect_err("must fail");
+        let e = run_spec_file(Path::new("/nonexistent/spec.toml"), None).expect_err("must fail");
         assert!(e.contains("spec.toml"), "{e}");
+    }
+
+    #[test]
+    fn jobs_cap_does_not_change_results() {
+        let dir = std::env::temp_dir().join("malec_cli_jobs_test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let free = run_parsed_spec(demo_spec(&dir, "cli_jobs_a"), "inline", &dir, None)
+            .expect("uncapped run");
+        let capped = run_parsed_spec(demo_spec(&dir, "cli_jobs_a"), "inline", &dir, Some(1))
+            .expect("capped run");
+        assert_eq!(capped.workers, 1, "the cap is honored");
+        for (f, c) in free.cells.iter().zip(&capped.cells) {
+            assert_eq!(f.digest, c.digest, "fan-out must not leak into results");
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

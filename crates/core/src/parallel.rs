@@ -33,6 +33,14 @@ pub fn workers_used(items: usize) -> usize {
     worker_count().min(items).max(1)
 }
 
+/// [`workers_used`] with an optional operator-imposed cap (the `--jobs N`
+/// flag of `malec-cli run`, `malec-bench` and `malec-cli serve`): the
+/// fan-out for `items` items, never exceeding `cap`. `Some(0)` and
+/// `Some(1)` both mean serial.
+pub fn workers_for(items: usize, cap: Option<usize>) -> usize {
+    workers_used(items).min(cap.unwrap_or(usize::MAX)).max(1)
+}
+
 /// Maps `f` over `items` in parallel, preserving input order in the output.
 ///
 /// Spawns up to [`worker_count`] scoped threads which claim items through a
@@ -133,6 +141,15 @@ mod tests {
         assert_eq!(workers_used(1), 1);
         assert!(workers_used(1_000) <= worker_count());
         assert!(workers_used(1_000) >= 1);
+    }
+
+    #[test]
+    fn workers_for_honors_the_jobs_cap() {
+        assert_eq!(workers_for(1_000, Some(1)), 1);
+        assert_eq!(workers_for(1_000, Some(0)), 1, "0 means serial, not zero");
+        assert_eq!(workers_for(1_000, None), workers_used(1_000));
+        assert!(workers_for(1_000, Some(2)) <= 2);
+        assert_eq!(workers_for(1, Some(8)), 1, "item count still caps");
     }
 
     #[test]

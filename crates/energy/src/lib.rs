@@ -53,5 +53,5 @@ pub mod model;
 pub mod sram;
 
 pub use counters::EnergyCounters;
-pub use model::{EnergyBreakdown, EnergyModel, StructureEnergy};
+pub use model::{intern_structure_name, EnergyBreakdown, EnergyModel, StructureEnergy};
 pub use sram::{CamArray, SramArray, SramParams};

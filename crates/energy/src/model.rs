@@ -53,6 +53,27 @@ impl EnergyBreakdown {
     }
 }
 
+/// The canonical set of structure names [`EnergyModel::evaluate`] can
+/// attribute energy to. Deserializers intern decoded names through this
+/// list, so [`StructureEnergy::name`] stays `&'static str` even for
+/// breakdowns loaded back from a persisted result cache.
+pub const STRUCTURE_NAMES: &[&str] = &[
+    "L1 tag arrays",
+    "L1 data arrays",
+    "uTLB",
+    "TLB",
+    "uWT",
+    "WT",
+    "WDU",
+];
+
+/// Maps a decoded structure name back to its canonical `&'static str`, or
+/// `None` for a name this build does not know (a cache written by a newer,
+/// incompatible version).
+pub fn intern_structure_name(name: &str) -> Option<&'static str> {
+    STRUCTURE_NAMES.iter().find(|&&n| n == name).copied()
+}
+
 /// Energy model for one [`SimConfig`]: instantiates every accounted array
 /// with the configuration's geometry and port counts, then prices an
 /// [`EnergyCounters`] ledger.

@@ -1,0 +1,432 @@
+//! The content-addressed result cache.
+//!
+//! Every simulation cell the service runs is a pure function: one
+//! `(SimConfig, scenario, seed, horizon)` tuple maps to one [`RunSummary`],
+//! bit for bit, forever — PRs 1–2 proved that with golden digests and
+//! replay verification, and it is exactly the property that makes a result
+//! cache *sound*. [`cache_key`] derives a 128-bit stable key from the tuple
+//! (via [`malec_types::stable`]); [`ResultCache`] maps keys to summaries
+//! and persists every insertion to a compact append-only log, so a
+//! restarted server comes back warm.
+//!
+//! Log format (`MSRC` magic, little-endian):
+//!
+//! ```text
+//! magic "MSRC"  version u8
+//! record*:
+//!   key   u128
+//!   len   u32           — byte length of the summary encoding
+//!   body  [u8; len]     — malec_core::digest::write_summary encoding
+//! ```
+//!
+//! On open, the log is replayed into memory; a trailing partial record
+//! (a crash mid-append) is dropped and the file truncated to the last
+//! complete record, so the log is always left appendable. A log with the
+//! wrong magic or version is refused rather than silently rebuilt —
+//! deleting a stale cache is an operator decision.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use malec_core::digest::{read_summary, summary_to_bytes};
+use malec_core::RunSummary;
+use malec_trace::Scenario;
+use malec_types::stable::{StableHasher, StableKey};
+use malec_types::SimConfig;
+
+const MAGIC: &[u8; 4] = b"MSRC";
+const VERSION: u8 = 1;
+
+/// Version tag folded into every cache key. Bump when any [`StableKey`]
+/// encoding (or the summary codec) changes, so persisted logs from older
+/// encodings can never alias new keys.
+const KEY_VERSION: u8 = 1;
+
+/// Derives the stable 128-bit cache key of one simulation cell.
+pub fn cache_key(config: &SimConfig, scenario: &Scenario, insts: u64, seed: u64) -> u128 {
+    let mut h = StableHasher::new();
+    h.write_u8(KEY_VERSION);
+    config.fold(&mut h);
+    scenario.fold(&mut h);
+    h.write_u64(insts);
+    h.write_u64(seed);
+    h.finish()
+}
+
+/// Running cache counters, served by `GET /v1/cache/stats`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Entries currently resident.
+    pub entries: u64,
+    /// Entries replayed from the persisted log at open.
+    pub loaded: u64,
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that found nothing (each one becomes a simulation).
+    pub misses: u64,
+    /// Cells that attached to an identical in-flight simulation instead of
+    /// starting their own (the scheduler reports these).
+    pub coalesced: u64,
+    /// Bytes appended to the log over this process lifetime.
+    pub bytes_appended: u64,
+}
+
+/// A shareable append handle to the cache log, locked independently of the
+/// in-memory map: the scheduler serializes a fresh summary and appends it
+/// **outside** the map mutex, so a disk flush never blocks concurrent
+/// claim-step lookups (or the stats endpoint).
+#[derive(Clone, Debug)]
+pub struct LogAppender {
+    file: Arc<Mutex<BufWriter<File>>>,
+}
+
+impl LogAppender {
+    /// Appends one record and flushes (a crash after `append` returns must
+    /// not lose the record). Returns the bytes written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the log file.
+    pub fn append(&self, key: u128, summary: &RunSummary) -> io::Result<u64> {
+        let body = summary_to_bytes(summary);
+        let mut log = self.file.lock().expect("log lock");
+        log.write_all(&key.to_le_bytes())?;
+        log.write_all(&(body.len() as u32).to_le_bytes())?;
+        log.write_all(&body)?;
+        log.flush()?;
+        Ok((16 + 4 + body.len()) as u64)
+    }
+}
+
+/// The in-memory map plus its append-only persistence.
+#[derive(Debug)]
+pub struct ResultCache {
+    map: HashMap<u128, Arc<RunSummary>>,
+    log: Option<LogAppender>,
+    path: Option<PathBuf>,
+    stats: CacheStats,
+}
+
+impl ResultCache {
+    /// A purely in-memory cache (no persistence).
+    pub fn in_memory() -> Self {
+        Self {
+            map: HashMap::new(),
+            log: None,
+            path: None,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Opens (or creates) a persisted cache at `path`, replaying any
+    /// existing log into memory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; returns `InvalidData` if the file exists but
+    /// is not a cache log of the supported version.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let mut map = HashMap::new();
+        let mut good_end = (MAGIC.len() + 1) as u64;
+        let file_len = file.metadata()?.len();
+        if file_len == 0 {
+            file.write_all(MAGIC)?;
+            file.write_all(&[VERSION])?;
+        } else {
+            {
+                let mut reader = BufReader::new(&mut file);
+                let mut header = [0u8; 5];
+                reader.read_exact(&mut header).map_err(|_| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("{}: not a cache log (short header)", path.display()),
+                    )
+                })?;
+                if &header[..4] != MAGIC {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("{}: bad cache-log magic", path.display()),
+                    ));
+                }
+                if header[4] != VERSION {
+                    return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "{}: cache-log version {} unsupported (want {VERSION}); delete it to rebuild",
+                        path.display(),
+                        header[4]
+                    ),
+                ));
+                }
+                loop {
+                    match read_record(&mut reader) {
+                        Ok(Some((key, summary, len))) => {
+                            map.insert(key, Arc::new(summary));
+                            good_end += len;
+                        }
+                        // Clean EOF at a record boundary: the log is good.
+                        Ok(None) => break,
+                        // A record cut short by a crash mid-append: keep
+                        // the prefix, drop the tail.
+                        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
+                        // Anything else is real corruption (bad lengths,
+                        // undecodable summaries), not a torn tail — refuse
+                        // rather than silently discarding the records
+                        // behind it.
+                        Err(e) => {
+                            return Err(io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                format!(
+                                    "{}: corrupt cache log at byte {good_end}: {e} \
+                                     (delete the file to rebuild)",
+                                    path.display()
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+            file.set_len(good_end)?;
+        }
+        file.seek(SeekFrom::End(0))?;
+        let stats = CacheStats {
+            entries: map.len() as u64,
+            loaded: map.len() as u64,
+            ..CacheStats::default()
+        };
+        Ok(Self {
+            map,
+            log: Some(LogAppender {
+                file: Arc::new(Mutex::new(BufWriter::new(file))),
+            }),
+            path: Some(path.to_owned()),
+            stats,
+        })
+    }
+
+    /// Looks `key` up, counting a hit. A `None` result is **not** counted
+    /// here: the scheduler distinguishes a true miss (a simulation starts —
+    /// [`count_miss`](Self::count_miss)) from attaching to an identical
+    /// in-flight simulation ([`count_coalesced`](Self::count_coalesced)).
+    pub fn lookup(&mut self, key: u128) -> Option<Arc<RunSummary>> {
+        let hit = self.map.get(&key).map(Arc::clone);
+        if hit.is_some() {
+            self.stats.hits += 1;
+        }
+        hit
+    }
+
+    /// Counts one true miss (a cell that goes on to simulate).
+    pub fn count_miss(&mut self) {
+        self.stats.misses += 1;
+    }
+
+    /// Inserts a summary into the in-memory map. Persistence is separate:
+    /// append through [`appender`](Self::appender) (outside the map lock)
+    /// and record the outcome with [`note_appended`](Self::note_appended),
+    /// or use [`insert_persist`](Self::insert_persist) where lock splitting
+    /// does not matter.
+    pub fn insert(&mut self, key: u128, summary: Arc<RunSummary>) {
+        if self.map.insert(key, summary).is_none() {
+            self.stats.entries += 1;
+        }
+    }
+
+    /// The log's append handle, if this cache is persisted.
+    pub fn appender(&self) -> Option<LogAppender> {
+        self.log.clone()
+    }
+
+    /// Records bytes a [`LogAppender::append`] wrote (the appender runs
+    /// outside this struct's lock, so the stat arrives separately).
+    pub fn note_appended(&mut self, bytes: u64) {
+        self.stats.bytes_appended += bytes;
+    }
+
+    /// [`insert`](Self::insert) plus a synchronous log append — the
+    /// convenience path for tests and single-threaded embedders.
+    ///
+    /// # Errors
+    ///
+    /// Propagates log-append I/O errors (the in-memory insert still took
+    /// effect).
+    pub fn insert_persist(&mut self, key: u128, summary: Arc<RunSummary>) -> io::Result<()> {
+        self.insert(key, Arc::clone(&summary));
+        if let Some(log) = self.appender() {
+            let bytes = log.append(key, &summary)?;
+            self.note_appended(bytes);
+        }
+        Ok(())
+    }
+
+    /// Counts one coalesced cell (see [`CacheStats::coalesced`]).
+    pub fn count_coalesced(&mut self) {
+        self.stats.coalesced += 1;
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// The log path, if persisted.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+}
+
+/// Upper bound on one record's body. A summary encodes to well under a
+/// kilobyte; a length beyond this is log corruption, and bounding it keeps
+/// a corrupt length field from demanding a multi-gigabyte allocation at
+/// open (the torn-tail recovery then kicks in instead).
+const MAX_RECORD: usize = 1024 * 1024;
+
+/// Reads one log record; `Ok(None)` on clean EOF before the key.
+fn read_record(r: &mut impl Read) -> io::Result<Option<(u128, RunSummary, u64)>> {
+    let mut key = [0u8; 16];
+    match r.read_exact(&mut key) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_RECORD {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("cache record length {len} exceeds {MAX_RECORD}"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    let summary = read_summary(&mut body.as_slice())?;
+    Ok(Some((
+        u128::from_le_bytes(key),
+        summary,
+        (16 + 4 + len) as u64,
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use malec_core::digest::digest;
+    use malec_core::{ScenarioSource, Simulator};
+    use malec_trace::scenario::preset_named;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("malec_serve_cache_{name}_{}", std::process::id()))
+    }
+
+    fn sample(seed: u64) -> RunSummary {
+        let scenario = preset_named("store_burst").expect("preset");
+        Simulator::new(SimConfig::malec())
+            .run_source(&ScenarioSource::Scenario(scenario), 2_000, seed)
+            .expect("generator sources cannot fail")
+    }
+
+    #[test]
+    fn keys_separate_config_scenario_seed_and_horizon() {
+        let s1 = preset_named("store_burst").expect("preset");
+        let s2 = preset_named("tlb_thrash").expect("preset");
+        let base = cache_key(&SimConfig::malec(), &s1, 1_000, 1);
+        assert_eq!(base, cache_key(&SimConfig::malec(), &s1, 1_000, 1));
+        assert_ne!(base, cache_key(&SimConfig::base1ldst(), &s1, 1_000, 1));
+        assert_ne!(base, cache_key(&SimConfig::malec(), &s2, 1_000, 1));
+        assert_ne!(base, cache_key(&SimConfig::malec(), &s1, 2_000, 1));
+        assert_ne!(base, cache_key(&SimConfig::malec(), &s1, 1_000, 2));
+    }
+
+    #[test]
+    fn lookup_counts_hits_and_misses() {
+        let mut cache = ResultCache::in_memory();
+        let key = 42u128;
+        assert!(cache.lookup(key).is_none());
+        cache.count_miss(); // the scheduler counts the miss when it claims
+        cache
+            .insert_persist(key, Arc::new(sample(1)))
+            .expect("insert");
+        assert!(cache.lookup(key).is_some());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn persisted_cache_survives_reopen_bit_for_bit() {
+        let path = tmp("reopen");
+        std::fs::remove_file(&path).ok();
+        let a = sample(7);
+        let b = sample(8);
+        {
+            let mut cache = ResultCache::open(&path).expect("open fresh");
+            cache
+                .insert_persist(1, Arc::new(a.clone()))
+                .expect("insert");
+            cache
+                .insert_persist(2, Arc::new(b.clone()))
+                .expect("insert");
+        }
+        let mut cache = ResultCache::open(&path).expect("reopen");
+        assert_eq!(cache.stats().loaded, 2);
+        let got_a = cache.lookup(1).expect("a persisted");
+        let got_b = cache.lookup(2).expect("b persisted");
+        assert_eq!(digest(&got_a), digest(&a), "lossless persistence");
+        assert_eq!(digest(&got_b), digest(&b));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_tail_is_dropped_and_log_stays_appendable() {
+        let path = tmp("truncated");
+        std::fs::remove_file(&path).ok();
+        let a = sample(9);
+        {
+            let mut cache = ResultCache::open(&path).expect("open");
+            cache
+                .insert_persist(1, Arc::new(a.clone()))
+                .expect("insert");
+            cache
+                .insert_persist(2, Arc::new(sample(10)))
+                .expect("insert");
+        }
+        // Simulate a crash mid-append: cut into the second record.
+        let full = std::fs::metadata(&path).expect("meta").len();
+        let f = OpenOptions::new().write(true).open(&path).expect("open");
+        f.set_len(full - 10).expect("truncate");
+        drop(f);
+        {
+            let mut cache = ResultCache::open(&path).expect("reopen survives");
+            assert_eq!(cache.stats().loaded, 1, "only the complete record");
+            assert!(cache.lookup(1).is_some());
+            assert!(cache.lookup(2).is_none());
+            cache
+                .insert_persist(3, Arc::new(sample(11)))
+                .expect("append works");
+        }
+        let cache = ResultCache::open(&path).expect("reopen again");
+        assert_eq!(cache.stats().loaded, 2, "entry 1 + appended entry 3");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn foreign_file_is_refused() {
+        let path = tmp("foreign");
+        std::fs::write(&path, b"definitely not a cache log").expect("write");
+        let err = ResultCache::open(&path).expect_err("must refuse");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,242 @@
+//! The client side of the v1 API: one round trip per call, JSON parsed
+//! into small typed views. `malec-cli submit` / `status` are thin wrappers
+//! over this module, and the integration tests drive servers through it.
+
+use std::time::{Duration, Instant};
+
+use crate::cache::CacheStats;
+use crate::http::request;
+use crate::json::{parse, Value};
+
+/// A client bound to one server address.
+#[derive(Clone, Debug)]
+pub struct Client {
+    addr: String,
+}
+
+/// A client-side view of one job's status.
+#[derive(Clone, Debug)]
+pub struct JobView {
+    /// The job id.
+    pub job: u64,
+    /// Scenario name.
+    pub scenario: String,
+    /// `"running"` or `"done"`.
+    pub state: String,
+    /// Total cells.
+    pub cells: u64,
+    /// Cells finished by fresh simulation.
+    pub simulated: u64,
+    /// Cells served from the result cache.
+    pub cached: u64,
+    /// Cells attached to a concurrent identical simulation.
+    pub coalesced: u64,
+    /// Cells still queued or simulating.
+    pub pending: u64,
+    /// Submit-to-done wall clock, once finished.
+    pub wall_seconds: Option<f64>,
+}
+
+impl JobView {
+    /// Cells that completed without a simulation of their own.
+    pub fn served_without_simulation(&self) -> u64 {
+        self.cached + self.coalesced
+    }
+}
+
+fn field(v: &Value, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("response lacks `{key}`: {v:?}"))
+}
+
+impl Client {
+    /// A client for `addr` (`host:port`).
+    pub fn new(addr: impl Into<String>) -> Self {
+        Self { addr: addr.into() }
+    }
+
+    fn call(&self, method: &str, path: &str, body: &[u8]) -> Result<(u16, String), String> {
+        request(&self.addr, method, path, body)
+            .map_err(|e| format!("{method} {} at {}: {e}", path, self.addr))
+    }
+
+    fn call_json(&self, method: &str, path: &str, body: &[u8]) -> Result<Value, String> {
+        let (status, text) = self.call(method, path, body)?;
+        let v = parse(&text).map_err(|e| format!("{path}: malformed response: {e}"))?;
+        if (200..300).contains(&status) {
+            Ok(v)
+        } else {
+            let detail = v
+                .get("error")
+                .and_then(Value::as_str)
+                .map_or_else(|| text.clone(), str::to_owned);
+            Err(format!("{path}: server returned {status}: {detail}"))
+        }
+    }
+
+    /// Submits a TOML spec; returns the job id.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for connection failures and server-side rejections
+    /// (spec parse errors arrive as `400` with the parser's message).
+    pub fn submit(&self, spec_toml: &str) -> Result<u64, String> {
+        let v = self.call_json("POST", "/v1/jobs", spec_toml.as_bytes())?;
+        field(&v, "job")
+    }
+
+    /// Fetches one job's status.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for connection failures, unknown jobs, and
+    /// malformed responses.
+    pub fn status(&self, job: u64) -> Result<JobView, String> {
+        let v = self.call_json("GET", &format!("/v1/jobs/{job}"), b"")?;
+        Ok(JobView {
+            job: field(&v, "job")?,
+            scenario: v
+                .get("scenario")
+                .and_then(Value::as_str)
+                .unwrap_or_default()
+                .to_owned(),
+            state: v
+                .get("state")
+                .and_then(Value::as_str)
+                .ok_or("response lacks `state`")?
+                .to_owned(),
+            cells: field(&v, "cells")?,
+            simulated: field(&v, "simulated")?,
+            cached: field(&v, "cached")?,
+            coalesced: field(&v, "coalesced")?,
+            pending: field(&v, "pending")?,
+            wall_seconds: v.get("wall_seconds").and_then(Value::as_f64),
+        })
+    }
+
+    /// Polls until the job reports `done` (50 ms cadence).
+    ///
+    /// # Errors
+    ///
+    /// Propagates status errors and reports a timeout.
+    pub fn wait(&self, job: u64, timeout: Duration) -> Result<JobView, String> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let view = self.status(job)?;
+            if view.state == "done" {
+                return Ok(view);
+            }
+            if Instant::now() >= deadline {
+                return Err(format!(
+                    "job {job} still {} after {timeout:?} ({} of {} cells pending)",
+                    view.state, view.pending, view.cells
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+
+    /// Fetches a finished job's report JSON (the `malec-cli run` schema).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unknown jobs and jobs still running (`409`).
+    pub fn report(&self, job: u64) -> Result<String, String> {
+        let (status, text) = self.call("GET", &format!("/v1/jobs/{job}/report"), b"")?;
+        if status == 200 {
+            Ok(text)
+        } else {
+            Err(format!("report for job {job}: server returned {status}"))
+        }
+    }
+
+    /// Fetches the cache counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for connection failures and malformed responses.
+    pub fn cache_stats(&self) -> Result<CacheStats, String> {
+        let v = self.call_json("GET", "/v1/cache/stats", b"")?;
+        Ok(CacheStats {
+            entries: field(&v, "entries")?,
+            loaded: field(&v, "loaded_from_disk")?,
+            hits: field(&v, "hits")?,
+            misses: field(&v, "misses")?,
+            coalesced: field(&v, "coalesced")?,
+            bytes_appended: field(&v, "bytes_appended")?,
+        })
+    }
+
+    /// Asks the server to drain and stop.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for connection failures.
+    pub fn shutdown(&self) -> Result<(), String> {
+        self.call_json("POST", "/v1/shutdown", b"").map(|_| ())
+    }
+
+    /// Whether a server is answering at this address.
+    pub fn healthy(&self) -> bool {
+        self.call_json("GET", "/v1/healthz", b"")
+            .map(|v| v.get("ok").and_then(Value::as_bool) == Some(true))
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::Server;
+
+    const SPEC: &str = "[scenario]\nmode = \"preset\"\npreset = \"tlb_thrash\"\n\
+                        [sweep]\nconfigs = [\"Base1ldst\", \"MALEC\"]\ninsts = 1200\nseed = 9\n";
+
+    #[test]
+    fn full_client_session() {
+        let server = Server::bind("127.0.0.1:0", Some(2), None)
+            .expect("bind")
+            .spawn()
+            .expect("spawn");
+        let client = Client::new(server.addr().to_string());
+        assert!(client.healthy());
+
+        let job = client.submit(SPEC).expect("submit");
+        let view = client.wait(job, Duration::from_secs(60)).expect("wait");
+        assert_eq!(view.cells, 2);
+        assert_eq!(view.pending, 0);
+        let report = client.report(job).expect("report");
+        assert!(report.contains("malec_scenario_sweep"));
+
+        let again = client.submit(SPEC).expect("resubmit");
+        let view = client.wait(again, Duration::from_secs(60)).expect("wait");
+        assert_eq!(
+            view.served_without_simulation(),
+            view.cells,
+            "resubmission must be served from cache"
+        );
+        let stats = client.cache_stats().expect("stats");
+        assert_eq!(stats.entries, 2);
+        assert!(stats.hits >= 2);
+
+        client.shutdown().expect("shutdown");
+        server.join().expect("clean exit");
+    }
+
+    #[test]
+    fn submit_of_a_bad_spec_reports_the_parser_message() {
+        let server = Server::bind("127.0.0.1:0", Some(1), None)
+            .expect("bind")
+            .spawn()
+            .expect("spawn");
+        let client = Client::new(server.addr().to_string());
+        let err = client
+            .submit("[scenario]\nname = \"x\"\n")
+            .expect_err("bad spec");
+        assert!(err.contains("400"), "{err}");
+        assert!(err.contains("phase"), "the parser message travels: {err}");
+        client.shutdown().expect("shutdown");
+        server.join().expect("clean exit");
+    }
+}

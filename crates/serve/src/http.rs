@@ -1,0 +1,312 @@
+//! A hand-rolled HTTP/1.1 subset over `std::net` — just enough protocol for
+//! the batch-service API, in the same spirit as the hand-rolled TOML parser
+//! this workspace already carries (the build environment has no network
+//! crates).
+//!
+//! Server side: [`read_request`] parses one request (request line, headers,
+//! `Content-Length` body) off a stream; [`write_response`] emits a complete
+//! `Connection: close` response. Client side: [`request`] performs one
+//! round trip. One request per connection keeps the framing trivial —
+//! connection reuse buys nothing for a localhost batch API.
+//!
+//! Limits are deliberate: 8 KiB per header line, 64 headers, 4 MiB bodies.
+//! A malformed or oversized request produces a clean error (the server
+//! turns it into `400`), never a panic or an unbounded allocation.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Maximum accepted header-line length.
+const MAX_LINE: usize = 8 * 1024;
+/// Maximum accepted header count.
+const MAX_HEADERS: usize = 64;
+/// Maximum accepted body size (a large TOML spec is a few KiB; reports a
+/// few hundred KiB).
+const MAX_BODY: usize = 4 * 1024 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Request method, uppercased by the client (`GET`, `POST`).
+    pub method: String,
+    /// Request target (path only; the service ignores query strings).
+    pub path: String,
+    /// Request body (empty without a `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The body as UTF-8.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` if the body is not UTF-8.
+    pub fn body_utf8(&self) -> io::Result<&str> {
+        std::str::from_utf8(&self.body)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "body is not UTF-8"))
+    }
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Reads one CRLF- (or LF-) terminated line, bounded by [`MAX_LINE`]
+/// **consumed** bytes (not kept bytes — a stream of bare `\r`s must not
+/// bypass the bound and pin the handler thread).
+fn read_line(r: &mut impl BufRead) -> io::Result<String> {
+    let mut line = Vec::new();
+    let mut consumed = 0usize;
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read_exact(&mut byte) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof && !line.is_empty() => break,
+            Err(e) => return Err(e),
+        }
+        consumed += 1;
+        if byte[0] == b'\n' {
+            break;
+        }
+        if byte[0] != b'\r' {
+            line.push(byte[0]);
+        }
+        if consumed > MAX_LINE {
+            return Err(bad("header line too long"));
+        }
+    }
+    String::from_utf8(line).map_err(|_| bad("header line is not UTF-8"))
+}
+
+/// Parses one request off `stream`.
+///
+/// # Errors
+///
+/// Returns `InvalidData` for malformed or over-limit requests and
+/// propagates socket errors.
+pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
+    let mut reader = BufReader::new(stream);
+    let request_line = read_line(&mut reader)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| bad("empty request line"))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| bad("request line lacks a target"))?;
+    let path = target.split('?').next().unwrap_or(target).to_owned();
+    if !path.starts_with('/') {
+        return Err(bad("request target must be an absolute path"));
+    }
+
+    let mut content_length = 0usize;
+    // One extra iteration beyond MAX_HEADERS for the terminating blank
+    // line, so a request with exactly MAX_HEADERS headers is accepted.
+    for _ in 0..=MAX_HEADERS {
+        let line = read_line(&mut reader)?;
+        if line.is_empty() {
+            let mut body = vec![0u8; content_length];
+            reader.read_exact(&mut body)?;
+            return Ok(Request { method, path, body });
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(bad("malformed header"));
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| bad("bad Content-Length"))?;
+            if content_length > MAX_BODY {
+                return Err(bad("body too large"));
+            }
+        }
+    }
+    Err(bad("too many headers"))
+}
+
+/// Human reason phrase for the status codes the service uses.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete `Connection: close` response.
+///
+/// # Errors
+///
+/// Propagates socket errors.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status,
+        reason(status),
+        content_type,
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Performs one HTTP round trip against `addr` and returns
+/// `(status, body)`.
+///
+/// # Errors
+///
+/// Propagates connection and socket errors; returns `InvalidData` for a
+/// malformed response.
+pub fn request(
+    addr: impl ToSocketAddrs,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    // A batch API must never hang a client forever on a wedged peer.
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(60)))?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: malec-serve\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()?;
+
+    let mut reader = BufReader::new(stream);
+    let status_line = read_line(&mut reader)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad(format!("bad status line `{status_line}`")))?;
+    let mut content_length: Option<usize> = None;
+    let mut headers_ended = false;
+    for _ in 0..=MAX_HEADERS {
+        let line = read_line(&mut reader)?;
+        if line.is_empty() {
+            headers_ended = true;
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                let len = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad("bad Content-Length"))?;
+                if len > MAX_BODY {
+                    return Err(bad("response too large"));
+                }
+                content_length = Some(len);
+            }
+        }
+    }
+    if !headers_ended {
+        // Falling out of the loop would misparse leftover header bytes as
+        // the body; refuse like the server side does.
+        return Err(bad("too many headers in response"));
+    }
+    let body = match content_length {
+        Some(len) => {
+            let mut buf = vec![0u8; len];
+            reader.read_exact(&mut buf)?;
+            buf
+        }
+        // Connection: close responses without a length end at EOF.
+        None => {
+            let mut buf = Vec::new();
+            reader.take(MAX_BODY as u64).read_to_end(&mut buf)?;
+            buf
+        }
+    };
+    let body = String::from_utf8(body).map_err(|_| bad("response body is not UTF-8"))?;
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// One-shot echo server: accepts a single connection, parses the
+    /// request, responds with its own view of it.
+    fn spawn_echo() -> std::net::SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("accept");
+            match read_request(&mut stream) {
+                Ok(req) => {
+                    let body = format!(
+                        "{} {} {}",
+                        req.method,
+                        req.path,
+                        String::from_utf8_lossy(&req.body)
+                    );
+                    write_response(&mut stream, 200, "text/plain", body.as_bytes()).ok();
+                }
+                Err(e) => {
+                    write_response(&mut stream, 400, "text/plain", e.to_string().as_bytes()).ok();
+                }
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn round_trip_with_body() {
+        let addr = spawn_echo();
+        let (status, body) = request(addr, "POST", "/v1/jobs", b"[scenario]").expect("request");
+        assert_eq!(status, 200);
+        assert_eq!(body, "POST /v1/jobs [scenario]");
+    }
+
+    #[test]
+    fn round_trip_without_body() {
+        let addr = spawn_echo();
+        let (status, body) = request(addr, "GET", "/v1/healthz", b"").expect("request");
+        assert_eq!(status, 200);
+        assert_eq!(body, "GET /v1/healthz ");
+    }
+
+    #[test]
+    fn query_strings_are_stripped() {
+        let addr = spawn_echo();
+        let (_, body) = request(addr, "GET", "/v1/jobs/3?verbose=1", b"").expect("request");
+        assert!(body.starts_with("GET /v1/jobs/3 "), "{body}");
+    }
+
+    #[test]
+    fn malformed_request_is_a_clean_400() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("accept");
+            match read_request(&mut stream) {
+                Ok(_) => write_response(&mut stream, 200, "text/plain", b"ok").ok(),
+                Err(_) => write_response(&mut stream, 400, "text/plain", b"bad").ok(),
+            };
+        });
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(b"NOT-HTTP\r\n\r\n").expect("write");
+        let mut out = String::new();
+        stream.read_to_string(&mut out).expect("read");
+        assert!(out.starts_with("HTTP/1.1 400"), "{out}");
+    }
+}

@@ -3,7 +3,7 @@
 //! `workload` / `workers` / wall-clock vocabulary), plus per-cell rows and
 //! the generator-vs-replay digest verdict.
 
-use malec_bench::goldens::digest;
+use malec_core::digest::digest;
 use malec_core::RunSummary;
 
 /// One config's pair of runs: generated stream and `.mtr` replay.
@@ -35,10 +35,27 @@ impl CellResult {
     pub fn replay_matches(&self) -> bool {
         self.digest == self.replay_digest
     }
+
+    /// Builds a cell from a generator-side summary alone, without a replay
+    /// run. Both digests are set to the generator digest, which is what a
+    /// replay would produce: record/replay bit-identity is the
+    /// replay-verified determinism contract the `malec-serve` result cache
+    /// rests on, and server cells (fresh or cached) lean on it instead of
+    /// re-running every stream twice.
+    pub fn from_generated(generated: RunSummary) -> Self {
+        let d = digest(&generated);
+        Self {
+            generated,
+            digest: d,
+            replay_digest: d,
+        }
+    }
 }
 
-/// Escapes a string for a JSON literal.
-fn esc(s: &str) -> String {
+/// Escapes a string for a JSON literal (shared by every JSON emitter in
+/// this crate — scenario names can legally contain `\n`/`\t` via TOML
+/// escapes, and those must not reach the wire raw).
+pub(crate) fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

@@ -1,0 +1,511 @@
+//! The batch engine: a job queue feeding a persistent worker pool, fused
+//! with the content-addressed [`ResultCache`].
+//!
+//! [`Engine::submit`] shards one [`SweepSpec`] into per-cell work units
+//! (one unit per configuration; the scenario, horizon and seed are shared)
+//! and enqueues them. A fixed pool of worker threads — sized like
+//! [`malec_core::parallel`]'s fan-out, but *persistent* across jobs instead
+//! of scoped per call — drains the queue. For each unit a worker:
+//!
+//! 1. looks the cell's [`cache_key`] up: a **hit** finishes the cell with
+//!    the stored summary, zero simulation;
+//! 2. otherwise checks the **in-flight** table: if an identical cell is
+//!    already simulating (a concurrent overlapping job), the unit parks as
+//!    a waiter and is finished by whoever simulates it — the cache answers
+//!    `N` concurrent identical submissions with **one** simulation;
+//! 3. otherwise claims the key, simulates, inserts the summary into the
+//!    cache (persisting it), and finishes the cell plus every parked
+//!    waiter.
+//!
+//! Everything a worker produces is deterministic, so a cell served from
+//! cache, from a waiter hand-off, or from a fresh simulation is
+//! bit-identical — the job report cannot tell (and records which path each
+//! cell took anyway, for the cache-stats endpoint and the acceptance
+//! tests).
+
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use malec_core::parallel::worker_count;
+use malec_core::{RunSummary, ScenarioSource, Simulator};
+use malec_trace::Scenario;
+use malec_types::SimConfig;
+
+use crate::cache::{cache_key, CacheStats, ResultCache};
+use crate::report::{render, CellResult};
+use crate::spec::SweepSpec;
+
+/// Server-side job identifier.
+pub type JobId = u64;
+
+/// Finished jobs retained for status/report queries. Beyond this, the
+/// oldest finished jobs are evicted at submit time (their results stay in
+/// the cache; only the per-job bookkeeping goes), so a long-lived server's
+/// memory is bounded by its workload, not its uptime. Evicted ids answer
+/// like unknown ids.
+const MAX_RETAINED_DONE: usize = 256;
+
+/// How a finished cell got its summary.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Provenance {
+    /// Freshly simulated by a pool worker.
+    Simulated,
+    /// Served from the result cache without simulating.
+    Cached,
+    /// Attached to a concurrent identical simulation (no own simulation).
+    Coalesced,
+}
+
+/// One schedulable cell.
+struct WorkUnit {
+    job: JobId,
+    cell: usize,
+    config: SimConfig,
+    scenario: Arc<Scenario>,
+    insts: u64,
+    seed: u64,
+}
+
+/// One submitted spec and its per-cell progress.
+struct Job {
+    spec: SweepSpec,
+    cells: Vec<Option<(Arc<RunSummary>, Provenance)>>,
+    started: Instant,
+    wall_seconds: Option<f64>,
+}
+
+impl Job {
+    fn done(&self) -> bool {
+        self.cells.iter().all(Option::is_some)
+    }
+
+    fn count(&self, p: Provenance) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| matches!(c, Some((_, q)) if *q == p))
+            .count()
+    }
+}
+
+/// A point-in-time view of one job, served by `GET /v1/jobs/<id>`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobStatus {
+    /// The job id.
+    pub id: JobId,
+    /// Scenario name of the submitted spec.
+    pub scenario: String,
+    /// `"running"` or `"done"`.
+    pub state: &'static str,
+    /// Total cells.
+    pub cells: usize,
+    /// Cells finished by a fresh simulation.
+    pub simulated: usize,
+    /// Cells served from the result cache.
+    pub cached: usize,
+    /// Cells that attached to a concurrent identical simulation.
+    pub coalesced: usize,
+    /// Cells still queued or simulating.
+    pub pending: usize,
+    /// Wall-clock seconds from submit to completion (`None` while
+    /// running).
+    pub wall_seconds: Option<f64>,
+}
+
+impl JobStatus {
+    /// Cells that completed without a simulation of their own.
+    pub fn served_without_simulation(&self) -> usize {
+        self.cached + self.coalesced
+    }
+}
+
+/// Waiters parked on an in-flight simulation.
+type Waiters = Vec<(JobId, usize)>;
+
+struct EngineInner {
+    cache: Mutex<ResultCache>,
+    /// Cells currently simulating, with the units parked on each.
+    in_flight: Mutex<HashMap<u128, Waiters>>,
+    jobs: Mutex<HashMap<JobId, Job>>,
+    queue: Mutex<VecDeque<WorkUnit>>,
+    available: Condvar,
+    stop: AtomicBool,
+    next_job: AtomicU64,
+    workers: usize,
+}
+
+/// The engine: owns the cache, the jobs, and the worker pool. Cheap to
+/// share (`Engine::handle`); [`shutdown`](Engine::shutdown) joins the pool.
+pub struct Engine {
+    inner: Arc<EngineInner>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Engine {
+    /// Builds an engine with `workers` pool threads (defaulting to the
+    /// sweep fan-out [`worker_count`]) over an in-memory or persisted
+    /// cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cache-log open errors.
+    pub fn new(workers: Option<usize>, cache_path: Option<&Path>) -> io::Result<Self> {
+        let cache = match cache_path {
+            Some(p) => ResultCache::open(p)?,
+            None => ResultCache::in_memory(),
+        };
+        let workers = workers.unwrap_or_else(worker_count).max(1);
+        let inner = Arc::new(EngineInner {
+            cache: Mutex::new(cache),
+            in_flight: Mutex::new(HashMap::new()),
+            jobs: Mutex::new(HashMap::new()),
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            stop: AtomicBool::new(false),
+            next_job: AtomicU64::new(1),
+            workers,
+        });
+        let handles = (0..workers)
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(&inner))
+            })
+            .collect();
+        Ok(Self {
+            inner,
+            handles: Mutex::new(handles),
+        })
+    }
+
+    /// Pool size.
+    pub fn workers(&self) -> usize {
+        self.inner.workers
+    }
+
+    /// Shards `spec` into per-cell units and enqueues them; returns the job
+    /// id immediately (cells complete asynchronously).
+    pub fn submit(&self, spec: SweepSpec) -> JobId {
+        let id = self.inner.next_job.fetch_add(1, Ordering::Relaxed);
+        let scenario = Arc::new(spec.scenario.clone());
+        let units: Vec<WorkUnit> = spec
+            .configs
+            .iter()
+            .enumerate()
+            .map(|(cell, config)| WorkUnit {
+                job: id,
+                cell,
+                config: config.clone(),
+                scenario: Arc::clone(&scenario),
+                insts: spec.insts,
+                seed: spec.seed,
+            })
+            .collect();
+        let job = Job {
+            cells: vec![None; spec.configs.len()],
+            spec,
+            started: Instant::now(),
+            wall_seconds: None,
+        };
+        {
+            let mut jobs = self.inner.jobs.lock().expect("jobs lock");
+            jobs.insert(id, job);
+            let mut done: Vec<JobId> = jobs
+                .iter()
+                .filter(|(_, j)| j.done())
+                .map(|(&k, _)| k)
+                .collect();
+            if done.len() > MAX_RETAINED_DONE {
+                done.sort_unstable();
+                for k in &done[..done.len() - MAX_RETAINED_DONE] {
+                    jobs.remove(k);
+                }
+            }
+        }
+        {
+            let mut q = self.inner.queue.lock().expect("queue lock");
+            q.extend(units);
+        }
+        self.inner.available.notify_all();
+        id
+    }
+
+    /// The current status of `job`, or `None` for an unknown id.
+    pub fn job_status(&self, job: JobId) -> Option<JobStatus> {
+        let jobs = self.inner.jobs.lock().expect("jobs lock");
+        let j = jobs.get(&job)?;
+        let simulated = j.count(Provenance::Simulated);
+        let cached = j.count(Provenance::Cached);
+        let coalesced = j.count(Provenance::Coalesced);
+        let finished = simulated + cached + coalesced;
+        Some(JobStatus {
+            id: job,
+            scenario: j.spec.scenario.name.clone(),
+            state: if j.done() { "done" } else { "running" },
+            cells: j.cells.len(),
+            simulated,
+            cached,
+            coalesced,
+            pending: j.cells.len() - finished,
+            wall_seconds: j.wall_seconds,
+        })
+    }
+
+    /// The finished job's report (same JSON schema as `malec-cli run`
+    /// writes), or `None` for an unknown id, or `Some(Err(status))` while
+    /// the job is still running.
+    pub fn job_report(&self, job: JobId) -> Option<Result<String, JobStatus>> {
+        let status = self.job_status(job)?;
+        if status.state != "done" {
+            return Some(Err(status));
+        }
+        let jobs = self.inner.jobs.lock().expect("jobs lock");
+        let j = jobs.get(&job)?;
+        let cells: Vec<CellResult> = j
+            .cells
+            .iter()
+            .map(|c| {
+                let (summary, _) = c.as_ref().expect("job is done");
+                CellResult::from_generated((**summary).clone())
+            })
+            .collect();
+        let json = render(
+            &format!("job:{job}"),
+            &j.spec.scenario.name,
+            &j.spec.scenario.segment_labels(),
+            &j.spec.mtr,
+            j.spec.insts,
+            j.spec.seed,
+            self.inner.workers,
+            j.wall_seconds.unwrap_or(0.0),
+            &cells,
+        );
+        Some(Ok(json))
+    }
+
+    /// Current cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.inner.cache.lock().expect("cache lock").stats()
+    }
+
+    /// The cache-log path, if the cache is persisted.
+    pub fn cache_path(&self) -> Option<std::path::PathBuf> {
+        self.inner
+            .cache
+            .lock()
+            .expect("cache lock")
+            .path()
+            .map(Path::to_owned)
+    }
+
+    /// Stops the pool after the current units finish and joins every
+    /// worker. Queued-but-unstarted units are dropped; their jobs stay
+    /// `running` forever, which only matters at process exit.
+    pub fn shutdown(&self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        self.inner.available.notify_all();
+        let mut handles = self.handles.lock().expect("handles lock");
+        for h in handles.drain(..) {
+            // Report rather than re-panic: shutdown also runs from Drop,
+            // and a panic inside Drop during unwinding aborts the process
+            // with no diagnostic.
+            if h.join().is_err() {
+                eprintln!("malec-serve: a worker thread panicked; its cells stay unfinished");
+            }
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(inner: &EngineInner) {
+    loop {
+        let unit = {
+            let mut q = inner.queue.lock().expect("queue lock");
+            loop {
+                if inner.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                match q.pop_front() {
+                    Some(unit) => break unit,
+                    None => q = inner.available.wait(q).expect("queue lock"),
+                }
+            }
+        };
+        process(inner, unit);
+    }
+}
+
+/// What the claim step decided for one unit.
+enum Claim {
+    Hit(Arc<RunSummary>),
+    Parked,
+    Run,
+}
+
+fn process(inner: &EngineInner, unit: WorkUnit) {
+    let key = cache_key(&unit.config, &unit.scenario, unit.insts, unit.seed);
+    let claim = {
+        // Lock order: cache before in_flight, here and in the completion
+        // path below.
+        let mut cache = inner.cache.lock().expect("cache lock");
+        let mut in_flight = inner.in_flight.lock().expect("in_flight lock");
+        match cache.lookup(key) {
+            Some(summary) => Claim::Hit(summary),
+            None => match in_flight.get_mut(&key) {
+                Some(waiters) => {
+                    waiters.push((unit.job, unit.cell));
+                    cache.count_coalesced();
+                    Claim::Parked
+                }
+                None => {
+                    in_flight.insert(key, Vec::new());
+                    cache.count_miss();
+                    Claim::Run
+                }
+            },
+        }
+    };
+    match claim {
+        Claim::Hit(summary) => finish_cell(inner, unit.job, unit.cell, summary, Provenance::Cached),
+        Claim::Parked => {}
+        Claim::Run => {
+            let summary = Simulator::new(unit.config.clone())
+                .run_source(
+                    &ScenarioSource::Scenario((*unit.scenario).clone()),
+                    unit.insts,
+                    unit.seed,
+                )
+                .expect("generator sources cannot fail");
+            let summary = Arc::new(summary);
+            let (waiters, appender) = {
+                let mut cache = inner.cache.lock().expect("cache lock");
+                let mut in_flight = inner.in_flight.lock().expect("in_flight lock");
+                cache.insert(key, Arc::clone(&summary));
+                (in_flight.remove(&key).unwrap_or_default(), cache.appender())
+            };
+            // Persist outside the map/in-flight locks: a disk flush must
+            // not block concurrent claim steps. The key is already resident
+            // in memory, so no other worker can race this append.
+            if let Some(appender) = appender {
+                match appender.append(key, &summary) {
+                    Ok(bytes) => inner.cache.lock().expect("cache lock").note_appended(bytes),
+                    // The in-memory entry took effect; losing persistence
+                    // costs warm restarts, not correctness.
+                    Err(e) => eprintln!("malec-serve: cache append failed: {e}"),
+                }
+            }
+            finish_cell(
+                inner,
+                unit.job,
+                unit.cell,
+                Arc::clone(&summary),
+                Provenance::Simulated,
+            );
+            for (job, cell) in waiters {
+                finish_cell(
+                    inner,
+                    job,
+                    cell,
+                    Arc::clone(&summary),
+                    Provenance::Coalesced,
+                );
+            }
+        }
+    }
+}
+
+fn finish_cell(
+    inner: &EngineInner,
+    job: JobId,
+    cell: usize,
+    summary: Arc<RunSummary>,
+    provenance: Provenance,
+) {
+    let mut jobs = inner.jobs.lock().expect("jobs lock");
+    let Some(j) = jobs.get_mut(&job) else {
+        return;
+    };
+    j.cells[cell] = Some((summary, provenance));
+    if j.done() && j.wall_seconds.is_none() {
+        j.wall_seconds = Some(j.started.elapsed().as_secs_f64());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::parse_spec;
+    use std::time::Duration;
+
+    const SPEC: &str = "[scenario]\nmode = \"preset\"\npreset = \"store_burst\"\n\
+                        [sweep]\nconfigs = [\"Base1ldst\", \"MALEC\"]\ninsts = 2000\nseed = 5\n";
+
+    fn wait_done(engine: &Engine, job: JobId) -> JobStatus {
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            let status = engine.job_status(job).expect("job exists");
+            if status.state == "done" {
+                return status;
+            }
+            assert!(Instant::now() < deadline, "job {job} never finished");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn submit_runs_to_done_and_resubmit_is_fully_cached() {
+        let engine = Engine::new(Some(2), None).expect("engine");
+        let spec = parse_spec(SPEC).expect("spec");
+        let first = engine.submit(spec.clone());
+        let status = wait_done(&engine, first);
+        assert_eq!(status.cells, 2);
+        assert_eq!(status.simulated, 2, "cold cache simulates everything");
+        assert!(status.wall_seconds.is_some());
+
+        let second = engine.submit(spec);
+        let status = wait_done(&engine, second);
+        assert_eq!(
+            status.served_without_simulation(),
+            status.cells,
+            "an identical resubmission must not simulate anything"
+        );
+        assert_eq!(status.simulated, 0);
+        let stats = engine.cache_stats();
+        assert_eq!(stats.entries, 2);
+        assert!(stats.hits >= 2);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn reports_are_identical_across_cache_paths() {
+        let engine = Engine::new(Some(2), None).expect("engine");
+        let spec = parse_spec(SPEC).expect("spec");
+        let a = engine.submit(spec.clone());
+        wait_done(&engine, a);
+        let b = engine.submit(spec);
+        wait_done(&engine, b);
+        let ra = engine.job_report(a).expect("known").expect("done");
+        let rb = engine.job_report(b).expect("known").expect("done");
+        // Same cells block bit for bit; only the job id and wall clock may
+        // differ.
+        let cells = |r: &str| r[r.find("\"cells\": [").expect("cells")..].to_owned();
+        assert_eq!(cells(&ra), cells(&rb));
+        engine.shutdown();
+    }
+
+    #[test]
+    fn unknown_job_is_none_and_running_report_is_err() {
+        let engine = Engine::new(Some(1), None).expect("engine");
+        assert!(engine.job_status(999).is_none());
+        assert!(engine.job_report(999).is_none());
+        engine.shutdown();
+    }
+}

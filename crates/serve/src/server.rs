@@ -1,0 +1,427 @@
+//! The HTTP front of the batch service: routes the v1 API onto an
+//! [`Engine`].
+//!
+//! | Endpoint                  | Method | Meaning                                   |
+//! |---------------------------|--------|-------------------------------------------|
+//! | `/v1/jobs`                | POST   | body = TOML sweep spec → `202` + job id   |
+//! | `/v1/jobs/<id>`           | GET    | job status (cells done / cached / running)|
+//! | `/v1/jobs/<id>/report`    | GET    | finished job's report (`run` JSON schema) |
+//! | `/v1/cache/stats`         | GET    | result-cache counters                     |
+//! | `/v1/healthz`             | GET    | liveness probe                            |
+//! | `/v1/shutdown`            | POST   | drain workers and stop accepting          |
+//!
+//! Submissions are asynchronous: `POST /v1/jobs` returns as soon as the
+//! spec is sharded into the queue, and clients poll the status endpoint.
+//! Each connection carries one request (`Connection: close`); connections
+//! are handled on their own threads, so slow clients never block the
+//! accept loop or each other.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::cache::CacheStats;
+use crate::http::{read_request, write_response, Request};
+use crate::report::esc;
+use crate::scheduler::{Engine, JobStatus};
+use crate::spec::parse_spec;
+
+/// The default address `malec-cli serve` binds and its clients target.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:4173";
+
+/// A bound, ready-to-run service.
+pub struct Server {
+    listener: TcpListener,
+    engine: Arc<Engine>,
+    stop: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds `addr` and builds the engine (`workers` pool threads over an
+    /// optionally persisted cache). Use port `0` for an ephemeral port and
+    /// read it back with [`local_addr`](Self::local_addr).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind and cache-open errors.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        workers: Option<usize>,
+        cache_path: Option<&Path>,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let engine = Arc::new(Engine::new(workers, cache_path)?);
+        Ok(Self {
+            listener,
+            engine,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query error.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The engine behind this server (tests reach through for stats).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Serves until a `POST /v1/shutdown` arrives, then drains the worker
+    /// pool and returns. Connection handlers run on their own threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop errors (per-connection errors are answered
+    /// with an HTTP status and do not stop the server).
+    pub fn run(self) -> io::Result<()> {
+        let addr = self.local_addr()?;
+        loop {
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let (stream, _) = match self.listener.accept() {
+                Ok(accepted) => accepted,
+                // A long-running service must survive transient accept
+                // failures (aborted handshakes, fd exhaustion under a
+                // connection burst) instead of dying with queued work.
+                Err(e) => {
+                    if self.stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    eprintln!("malec-serve: accept failed (retrying): {e}");
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                    continue;
+                }
+            };
+            // A silent or wedged client must not park its handler thread
+            // forever (the client side sets the same 60 s bounds).
+            stream
+                .set_read_timeout(Some(std::time::Duration::from_secs(60)))
+                .ok();
+            stream
+                .set_write_timeout(Some(std::time::Duration::from_secs(60)))
+                .ok();
+            // Every accepted connection gets a handler — even ones racing a
+            // shutdown, so a real client caught in the race still receives
+            // an HTTP response instead of a bare closed socket (the
+            // shutdown wake connection's handler just fails its read and
+            // exits).
+            let engine = Arc::clone(&self.engine);
+            let stop = Arc::clone(&self.stop);
+            std::thread::spawn(move || {
+                let mut stream = stream;
+                handle_connection(&mut stream, &engine, &stop, addr);
+            });
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+        }
+        self.engine.shutdown();
+        Ok(())
+    }
+
+    /// Runs the server on a background thread (tests and the `serve-smoke`
+    /// CI job drive it through the client).
+    pub fn spawn(self) -> io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let handle = std::thread::spawn(move || self.run());
+        Ok(ServerHandle { addr, handle })
+    }
+}
+
+/// A background server: its address and the join handle.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    handle: JoinHandle<io::Result<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Waits for the server to exit (send `POST /v1/shutdown` first).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the server's exit error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server thread panicked.
+    pub fn join(self) -> io::Result<()> {
+        self.handle.join().expect("server thread panicked")
+    }
+}
+
+fn handle_connection(
+    stream: &mut TcpStream,
+    engine: &Engine,
+    stop: &AtomicBool,
+    self_addr: SocketAddr,
+) {
+    let request = match read_request(stream) {
+        Ok(r) => r,
+        Err(e) => {
+            respond_error(stream, 400, &e.to_string());
+            return;
+        }
+    };
+    let shutting_down = route(stream, engine, &request);
+    if shutting_down {
+        stop.store(true, Ordering::SeqCst);
+        // The accept loop is parked in accept(); poke it awake so it
+        // observes the flag and exits. A listener bound to the unspecified
+        // address is not connectable on every platform — aim the poke at
+        // loopback instead.
+        let mut wake = self_addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(if wake.is_ipv4() {
+                std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST)
+            } else {
+                std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST)
+            });
+        }
+        TcpStream::connect(wake).ok();
+    }
+}
+
+/// Dispatches one request; returns `true` for a shutdown request.
+fn route(stream: &mut TcpStream, engine: &Engine, request: &Request) -> bool {
+    let path = request.path.as_str();
+    match (request.method.as_str(), path) {
+        ("POST", "/v1/jobs") => handle_submit(stream, engine, request),
+        ("GET", "/v1/cache/stats") => {
+            let body = cache_stats_json(&engine.cache_stats(), engine);
+            respond_json(stream, 200, &body);
+        }
+        ("GET", "/v1/healthz") => respond_json(stream, 200, "{\n  \"ok\": true\n}\n"),
+        ("POST", "/v1/shutdown") => {
+            respond_json(stream, 200, "{\n  \"stopping\": true\n}\n");
+            return true;
+        }
+        ("GET", _) if path.starts_with("/v1/jobs/") => handle_job_get(stream, engine, path),
+        _ => respond_error(
+            stream,
+            404,
+            &format!("no route for {} {path}", request.method),
+        ),
+    }
+    false
+}
+
+fn handle_submit(stream: &mut TcpStream, engine: &Engine, request: &Request) {
+    let text = match request.body_utf8() {
+        Ok(t) => t,
+        Err(_) => {
+            respond_error(stream, 400, "spec body must be UTF-8 TOML");
+            return;
+        }
+    };
+    match parse_spec(text) {
+        Ok(spec) => {
+            let cells = spec.configs.len();
+            let job = engine.submit(spec);
+            let body = format!(
+                "{{\n  \"job\": {job},\n  \"cells\": {cells},\n  \"status_url\": \"/v1/jobs/{job}\"\n}}\n"
+            );
+            respond_json(stream, 202, &body);
+        }
+        Err(e) => respond_error(stream, 400, &e.to_string()),
+    }
+}
+
+fn handle_job_get(stream: &mut TcpStream, engine: &Engine, path: &str) {
+    let rest = &path["/v1/jobs/".len()..];
+    let (id_text, want_report) = match rest.strip_suffix("/report") {
+        Some(id) => (id, true),
+        None => (rest, false),
+    };
+    let Ok(id) = id_text.parse::<u64>() else {
+        respond_error(stream, 400, &format!("bad job id `{id_text}`"));
+        return;
+    };
+    if want_report {
+        match engine.job_report(id) {
+            None => respond_error(stream, 404, &format!("unknown job {id}")),
+            Some(Err(status)) => {
+                // 409: the resource exists but is not in a fetchable state.
+                respond_json(stream, 409, &job_status_json(&status));
+            }
+            Some(Ok(report)) => respond_json(stream, 200, &report),
+        }
+    } else {
+        match engine.job_status(id) {
+            None => respond_error(stream, 404, &format!("unknown job {id}")),
+            Some(status) => respond_json(stream, 200, &job_status_json(&status)),
+        }
+    }
+}
+
+/// Renders a [`JobStatus`] as the status-endpoint JSON.
+pub fn job_status_json(s: &JobStatus) -> String {
+    format!(
+        "{{\n  \"job\": {},\n  \"scenario\": \"{}\",\n  \"state\": \"{}\",\n  \"cells\": {},\n  \"simulated\": {},\n  \"cached\": {},\n  \"coalesced\": {},\n  \"pending\": {},\n  \"wall_seconds\": {}\n}}\n",
+        s.id,
+        esc(&s.scenario),
+        s.state,
+        s.cells,
+        s.simulated,
+        s.cached,
+        s.coalesced,
+        s.pending,
+        s.wall_seconds
+            .map_or_else(|| "null".to_owned(), |w| format!("{w:.4}")),
+    )
+}
+
+/// Renders the cache-stats endpoint JSON.
+fn cache_stats_json(stats: &CacheStats, engine: &Engine) -> String {
+    format!(
+        "{{\n  \"entries\": {},\n  \"loaded_from_disk\": {},\n  \"hits\": {},\n  \"misses\": {},\n  \"coalesced\": {},\n  \"bytes_appended\": {},\n  \"persisted\": {},\n  \"workers\": {}\n}}\n",
+        stats.entries,
+        stats.loaded,
+        stats.hits,
+        stats.misses,
+        stats.coalesced,
+        stats.bytes_appended,
+        engine
+            .cache_path()
+            .map_or_else(|| "null".to_owned(), |p| format!("\"{}\"", esc(&p.display().to_string()))),
+        engine.workers(),
+    )
+}
+
+fn respond_json(stream: &mut TcpStream, status: u16, body: &str) {
+    write_response(stream, status, "application/json", body.as_bytes()).ok();
+}
+
+fn respond_error(stream: &mut TcpStream, status: u16, message: &str) {
+    let body = format!("{{\n  \"error\": \"{}\"\n}}\n", esc(message));
+    respond_json(stream, status, &body);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::request;
+    use crate::json::{parse, Value};
+    use std::time::{Duration, Instant};
+
+    const SPEC: &str = "[scenario]\nmode = \"preset\"\npreset = \"bank_conflict\"\n\
+                        [sweep]\nconfigs = [\"MALEC\"]\ninsts = 1500\nseed = 3\n";
+
+    fn start() -> ServerHandle {
+        Server::bind("127.0.0.1:0", Some(2), None)
+            .expect("bind")
+            .spawn()
+            .expect("spawn")
+    }
+
+    fn get_json(addr: SocketAddr, path: &str) -> (u16, Value) {
+        let (status, body) = request(addr, "GET", path, b"").expect("request");
+        (
+            status,
+            parse(&body).unwrap_or_else(|e| panic!("{path}: {e}\n{body}")),
+        )
+    }
+
+    #[test]
+    fn submit_poll_report_shutdown() {
+        let server = start();
+        let addr = server.addr();
+
+        let (status, body) = request(addr, "POST", "/v1/jobs", SPEC.as_bytes()).expect("submit");
+        assert_eq!(status, 202, "{body}");
+        let v = parse(&body).expect("submit response parses");
+        let job = v.get("job").and_then(Value::as_u64).expect("job id");
+        assert_eq!(v.get("cells").and_then(Value::as_u64), Some(1));
+
+        let deadline = Instant::now() + Duration::from_secs(60);
+        let report = loop {
+            let (status, v) = get_json(addr, &format!("/v1/jobs/{job}"));
+            assert_eq!(status, 200);
+            if v.get("state").and_then(Value::as_str) == Some("done") {
+                let (status, body) =
+                    request(addr, "GET", &format!("/v1/jobs/{job}/report"), b"").expect("report");
+                assert_eq!(status, 200);
+                break body;
+            }
+            assert!(Instant::now() < deadline, "job never finished");
+            std::thread::sleep(Duration::from_millis(5));
+        };
+        let report = parse(&report).expect("report is valid JSON");
+        assert_eq!(
+            report.get("bench").and_then(Value::as_str),
+            Some("malec_scenario_sweep"),
+            "the report keeps the run schema"
+        );
+        assert_eq!(
+            report.get("cells").and_then(Value::as_array).map(Vec::len),
+            Some(1)
+        );
+
+        let (status, stats) = get_json(addr, "/v1/cache/stats");
+        assert_eq!(status, 200);
+        assert_eq!(stats.get("entries").and_then(Value::as_u64), Some(1));
+
+        let (status, _) = request(addr, "POST", "/v1/shutdown", b"").expect("shutdown");
+        assert_eq!(status, 200);
+        server.join().expect("clean exit");
+    }
+
+    #[test]
+    fn status_json_escapes_control_characters() {
+        // TOML strings legally contain \n / \t escapes; the status JSON
+        // must stay parseable anyway.
+        let s = JobStatus {
+            id: 1,
+            scenario: "a\nb\"c".into(),
+            state: "running",
+            cells: 1,
+            simulated: 0,
+            cached: 0,
+            coalesced: 0,
+            pending: 1,
+            wall_seconds: None,
+        };
+        let v = parse(&job_status_json(&s)).expect("valid JSON despite control chars");
+        assert_eq!(v.get("scenario").and_then(Value::as_str), Some("a\nb\"c"));
+    }
+
+    #[test]
+    fn error_paths_are_clean_statuses() {
+        let server = start();
+        let addr = server.addr();
+
+        let (status, body) = request(addr, "POST", "/v1/jobs", b"not = toml [").expect("submit");
+        assert_eq!(status, 400, "{body}");
+        assert!(parse(&body).expect("error is JSON").get("error").is_some());
+
+        let (status, _) = get_json(addr, "/v1/jobs/12345");
+        assert_eq!(status, 404);
+
+        let (status, _) = request(addr, "GET", "/v1/jobs/abc", b"").expect("bad id");
+        assert_eq!(status, 400);
+
+        let (status, _) = request(addr, "DELETE", "/v1/jobs", b"").expect("bad method");
+        assert_eq!(status, 404);
+
+        let (status, v) = get_json(addr, "/v1/healthz");
+        assert_eq!(status, 200);
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+
+        request(addr, "POST", "/v1/shutdown", b"").expect("shutdown");
+        server.join().expect("clean exit");
+    }
+}

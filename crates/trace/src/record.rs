@@ -480,4 +480,123 @@ mod tests {
             prop_assert_eq!(dep_from_wire(dep_to_wire(d)), d);
         }
     }
+
+    /// A small valid trace to corrupt (deterministic, so proptest offsets
+    /// address stable byte positions).
+    fn valid_trace_bytes() -> Vec<u8> {
+        let insts: Vec<TraceInst> = WorkloadGenerator::new(&all_benchmarks()[1], 13)
+            .take(300)
+            .collect();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, insts.iter().copied()).expect("write");
+        buf
+    }
+
+    #[test]
+    fn truncated_header_is_a_clean_error() {
+        let buf = valid_trace_bytes();
+        for cut in 0..5 {
+            let err = read_trace(&mut &buf[..cut]).expect_err("short header must error");
+            assert!(
+                matches!(
+                    err.kind(),
+                    io::ErrorKind::UnexpectedEof | io::ErrorKind::InvalidData
+                ),
+                "cut at {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn overlong_varint_is_a_clean_error() {
+        // A load whose vaddr varint never terminates within u64 range:
+        // eleven continuation bytes is unconditionally overlong (64 bits
+        // need at most ten 7-bit groups).
+        let mut buf = Vec::new();
+        write_trace(&mut buf, std::iter::empty()).expect("header");
+        buf.push(1); // load tag
+        buf.extend_from_slice(&[0x80; 11]);
+        buf.push(0x01);
+        let err = read_trace(&mut buf.as_slice()).expect_err("overlong varint must error");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{err}");
+        assert!(err.to_string().contains("varint"), "{err}");
+    }
+
+    #[test]
+    fn varint_bits_beyond_u64_are_rejected() {
+        // Ten groups whose last carries bits past bit 63.
+        let mut buf = Vec::new();
+        write_trace(&mut buf, std::iter::empty()).expect("header");
+        buf.push(1); // load tag
+        buf.extend_from_slice(&[0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x7f]);
+        let err = read_trace(&mut buf.as_slice()).expect_err("overflow must error");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{err}");
+    }
+
+    #[test]
+    fn mid_record_eof_is_an_error_not_a_panic() {
+        let buf = valid_trace_bytes();
+        // Walk the trace record by record to find every record boundary,
+        // then cut strictly inside the final record.
+        let n_records = read_trace(&mut buf.as_slice()).expect("valid").len();
+        for cut in [buf.len() - 1, buf.len() - 2] {
+            let result = read_trace(&mut &buf[..cut]);
+            match result {
+                Err(e) => assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof, "{e}"),
+                // Cutting exactly at a record boundary yields a shorter,
+                // valid trace; anything else must have errored above.
+                Ok(insts) => assert!(insts.len() < n_records, "cut at {cut} lost nothing"),
+            }
+        }
+    }
+
+    proptest! {
+        /// Truncating a valid trace at *any* offset either yields a clean
+        /// prefix of the records (a cut at a record boundary) or a clean
+        /// error — never a panic, never fabricated records.
+        #[test]
+        fn prop_truncation_never_panics(cut in 0usize..4096) {
+            let buf = valid_trace_bytes();
+            let full = read_trace(&mut buf.as_slice()).expect("valid");
+            let cut = cut.min(buf.len());
+            match read_trace(&mut &buf[..cut]) {
+                Ok(insts) => {
+                    prop_assert!(insts.len() <= full.len());
+                    prop_assert_eq!(&full[..insts.len()], &insts[..], "a prefix, bit for bit");
+                }
+                Err(e) => {
+                    prop_assert!(matches!(
+                        e.kind(),
+                        io::ErrorKind::UnexpectedEof | io::ErrorKind::InvalidData
+                    ), "unexpected error kind: {}", e);
+                }
+            }
+        }
+
+        /// Flipping one byte anywhere in a valid trace is either still
+        /// decodable (the flip landed in a payload byte) or a clean error —
+        /// the streaming reader must never panic on corrupt input.
+        #[test]
+        fn prop_single_byte_corruption_never_panics(
+            offset in 0usize..4096,
+            xor in 1u64..256,
+        ) {
+            let mut buf = valid_trace_bytes();
+            let offset = offset.min(buf.len() - 1);
+            buf[offset] ^= xor as u8;
+            match TraceReader::new(buf.as_slice()) {
+                Ok(reader) => {
+                    for record in reader {
+                        if record.is_err() {
+                            break;
+                        }
+                    }
+                }
+                Err(e) => {
+                    // Header corruption: must be the magic/version error.
+                    prop_assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+                }
+            }
+        }
+    }
 }

@@ -702,6 +702,133 @@ pub fn preset_named(name: &str) -> Option<Scenario> {
     presets().into_iter().find(|s| s.name == name)
 }
 
+mod stable_impls {
+    //! [`StableKey`] encodings of the workload types, so a scenario can be
+    //! part of a persistent content-addressed cache key. Every field that
+    //! shapes the generated instruction stream — and the reported workload
+    //! name, which the run summary folds — is covered; enum variants carry
+    //! explicit tags. Changing any encoding here invalidates persisted
+    //! caches (the cache format version must be bumped alongside).
+
+    use malec_types::stable::{StableHasher, StableKey};
+
+    use super::{
+        BankConflictParams, Composition, MixPart, Phase, Scenario, SegmentKind, StoreBurstParams,
+        TlbThrashParams,
+    };
+    use crate::profile::BenchmarkProfile;
+
+    impl StableKey for BenchmarkProfile {
+        fn fold(&self, h: &mut StableHasher) {
+            // The name identifies the calibrated profile; the parameters are
+            // folded too, so retuning a profile in a future version changes
+            // the key instead of silently serving stale cached results.
+            h.write_str(self.name);
+            h.write_str(self.suite.name());
+            h.write_f64(self.mem_fraction);
+            h.write_f64(self.load_share);
+            h.write_u8(self.streams);
+            h.write_f64(self.stream_switch_prob);
+            h.write_f64(self.page_run_mean);
+            h.write_u32(self.stride_bytes);
+            h.write_u32(self.working_set_pages);
+            h.write_f64(self.page_reuse_prob);
+            h.write_f64(self.addr_dep_prob);
+            h.write_f64(self.dep_prob);
+            h.write_f64(self.long_op_fraction);
+            h.write_f64(self.branch_fraction);
+            h.write_f64(self.mispredict_rate);
+        }
+    }
+
+    impl StableKey for TlbThrashParams {
+        fn fold(&self, h: &mut StableHasher) {
+            h.write_u32(self.pages);
+            h.write_u32(self.lines_per_page);
+            h.write_f64(self.load_fraction);
+        }
+    }
+
+    impl StableKey for BankConflictParams {
+        fn fold(&self, h: &mut StableHasher) {
+            h.write_u32(self.stride_lines);
+            h.write_u32(self.pages);
+        }
+    }
+
+    impl StableKey for StoreBurstParams {
+        fn fold(&self, h: &mut StableHasher) {
+            h.write_u32(self.burst);
+            h.write_u32(self.loads_after);
+            h.write_u32(self.lines_back);
+            h.write_u32(self.gap);
+            h.write_u32(self.pages);
+        }
+    }
+
+    impl StableKey for SegmentKind {
+        fn fold(&self, h: &mut StableHasher) {
+            match self {
+                SegmentKind::Benchmark(p) => {
+                    h.write_u8(0);
+                    p.fold(h);
+                }
+                SegmentKind::TlbThrash(p) => {
+                    h.write_u8(1);
+                    p.fold(h);
+                }
+                SegmentKind::BankConflict(p) => {
+                    h.write_u8(2);
+                    p.fold(h);
+                }
+                SegmentKind::StoreBurst(p) => {
+                    h.write_u8(3);
+                    p.fold(h);
+                }
+            }
+        }
+    }
+
+    impl StableKey for Phase {
+        fn fold(&self, h: &mut StableHasher) {
+            self.kind.fold(h);
+            h.write_u64(self.insts);
+        }
+    }
+
+    impl StableKey for MixPart {
+        fn fold(&self, h: &mut StableHasher) {
+            self.kind.fold(h);
+            h.write_u64(u64::from(self.weight));
+        }
+    }
+
+    impl StableKey for Scenario {
+        fn fold(&self, h: &mut StableHasher) {
+            // The name feeds both the per-segment sub-seeds and the summary's
+            // workload field, so it is part of the behavioral identity.
+            h.write_str(&self.name);
+            match &self.composition {
+                Composition::Phased(phases) => {
+                    h.write_u8(0);
+                    h.write_u64(phases.len() as u64);
+                    for p in phases {
+                        p.fold(h);
+                    }
+                }
+                Composition::Mixed { parts, block } => {
+                    h.write_u8(1);
+                    h.write_u64(parts.len() as u64);
+                    for p in parts {
+                        p.fold(h);
+                    }
+                    h.write_u64(u64::from(*block));
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -977,5 +1104,50 @@ mod tests {
     fn segment_labels_follow_composition() {
         let s = preset_named("mixed_int_media_thrash").unwrap();
         assert_eq!(s.segment_labels(), ["gap", "h263dec", "tlb_thrash"]);
+    }
+}
+
+#[cfg(test)]
+mod stable_tests {
+    use malec_types::stable::stable_key;
+
+    use super::{preset_named, presets, Phase, Scenario, SegmentKind, TlbThrashParams};
+
+    #[test]
+    fn preset_keys_are_distinct_and_reproducible() {
+        let keys: Vec<u128> = presets().iter().map(stable_key).collect();
+        for (i, a) in keys.iter().enumerate() {
+            for b in &keys[i + 1..] {
+                assert_ne!(a, b, "two presets share a cache key");
+            }
+        }
+        let again: Vec<u128> = presets().iter().map(stable_key).collect();
+        assert_eq!(keys, again, "keys must be stable across derivations");
+    }
+
+    #[test]
+    fn key_tracks_name_and_structure() {
+        let base = preset_named("tlb_thrash").expect("preset");
+        let renamed = Scenario::single(
+            "tlb_thrash_2",
+            SegmentKind::TlbThrash(TlbThrashParams::default()),
+        );
+        assert_ne!(
+            stable_key(&base),
+            stable_key(&renamed),
+            "the name feeds sub-seeds and the summary, so it must key"
+        );
+        let longer = Scenario::phased(
+            "tlb_thrash",
+            vec![Phase::new(
+                SegmentKind::TlbThrash(TlbThrashParams::default()),
+                1_000,
+            )],
+        );
+        assert_ne!(stable_key(&base), stable_key(&longer), "phase length keys");
+        let mut tweaked = TlbThrashParams::default();
+        tweaked.pages += 1;
+        let tweaked = Scenario::single("tlb_thrash", SegmentKind::TlbThrash(tweaked));
+        assert_ne!(stable_key(&base), stable_key(&tweaked), "params key");
     }
 }

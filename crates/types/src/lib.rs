@@ -39,9 +39,11 @@ pub mod error;
 pub mod geometry;
 pub mod op;
 pub mod params;
+pub mod stable;
 
 pub use addr::{BankId, LineAddr, PAddr, PPageId, SetIndex, SubBlockId, VAddr, VPageId, WayId};
 pub use config::{InterfaceKind, LatencyVariant, PortConfig, SimConfig, WayDetermination};
 pub use error::ConfigError;
 pub use geometry::{CacheGeometry, PageGeometry};
 pub use op::{MemOp, MemOpKind, OpId};
+pub use stable::{stable_key, StableHasher, StableKey};

@@ -1,0 +1,284 @@
+//! Stable, process-independent key derivation for cache addressing.
+//!
+//! The `malec-serve` result cache maps one `(SimConfig, workload, seed,
+//! horizon)` tuple to one `RunSummary` forever, so its keys must be
+//! **stable**: identical across processes, hosts and restarts, and sensitive
+//! to every field that can change simulated behavior. `std::hash::Hash` gives
+//! neither guarantee (hasher state is allowed to be randomized, and derive
+//! order is an implementation detail), so this module provides an explicit
+//! alternative:
+//!
+//! * [`StableHasher`] — FNV-1a over a 128-bit state, fed through typed
+//!   `write_*` calls that length-prefix variable-size data (two adjacent
+//!   strings can never collide by shifting bytes between them);
+//! * [`StableKey`] — the trait a type implements to fold *every*
+//!   behavior-relevant field, with explicit discriminant tags for enums so
+//!   the key survives reordering of variant declarations.
+//!
+//! [`SimConfig`] implements [`StableKey`] here; workload types (scenarios,
+//! profiles) implement it in `malec-trace`. Changing any encoding is a
+//! breaking change for persisted caches — bump the cache's format version
+//! when you do.
+//!
+//! # Example
+//!
+//! ```
+//! use malec_types::stable::{stable_key, StableKey};
+//! use malec_types::SimConfig;
+//!
+//! let a = stable_key(&SimConfig::malec());
+//! let b = stable_key(&SimConfig::malec());
+//! assert_eq!(a, b, "same config, same key, forever");
+//! assert_ne!(a, stable_key(&SimConfig::base1ldst()));
+//! ```
+
+use crate::config::{AgwConfig, InterfaceKind, LatencyVariant, SimConfig, WayDetermination};
+use crate::geometry::{CacheGeometry, PageGeometry};
+
+/// FNV-1a 128-bit offset basis.
+const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+/// FNV-1a 128-bit prime.
+const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+/// An incremental FNV-1a hasher over a 128-bit state with typed,
+/// length-prefixed writes. See the module docs for the stability contract.
+#[derive(Clone, Debug)]
+pub struct StableHasher {
+    state: u128,
+}
+
+impl StableHasher {
+    /// A fresh hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Self {
+            state: FNV128_OFFSET,
+        }
+    }
+
+    /// Folds one byte.
+    pub fn write_u8(&mut self, v: u8) {
+        self.state ^= u128::from(v);
+        self.state = self.state.wrapping_mul(FNV128_PRIME);
+    }
+
+    /// Folds raw bytes (no length prefix; use [`write_str`](Self::write_str)
+    /// or [`write_len_bytes`](Self::write_len_bytes) for variable-size
+    /// data).
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u8(b);
+        }
+    }
+
+    /// Folds a length prefix followed by the bytes.
+    pub fn write_len_bytes(&mut self, bytes: &[u8]) {
+        self.write_u64(bytes.len() as u64);
+        self.write_bytes(bytes);
+    }
+
+    /// Folds a `u32` (little-endian byte order).
+    pub fn write_u32(&mut self, v: u32) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Folds a `u64` (little-endian byte order).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Folds an `f64` by bit pattern (`-0.0` and `0.0` therefore differ;
+    /// behavioral parameters never rely on that distinction).
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Folds a bool as one byte.
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_u8(u8::from(v));
+    }
+
+    /// Folds a string, length-prefixed.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_len_bytes(s.as_bytes());
+    }
+
+    /// The 128-bit digest of everything written so far.
+    pub fn finish(&self) -> u128 {
+        self.state
+    }
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A type whose behavior-relevant identity can be folded into a
+/// [`StableHasher`]. Implementations must fold **every** field that can
+/// change simulated output, tag enum variants with explicit constants, and
+/// never change an existing encoding without a cache-format version bump.
+pub trait StableKey {
+    /// Folds this value into `h`.
+    fn fold(&self, h: &mut StableHasher);
+}
+
+/// The 128-bit stable key of one value (a fresh hasher, folded, finished).
+pub fn stable_key<T: StableKey + ?Sized>(value: &T) -> u128 {
+    let mut h = StableHasher::new();
+    value.fold(&mut h);
+    h.finish()
+}
+
+impl StableKey for InterfaceKind {
+    fn fold(&self, h: &mut StableHasher) {
+        h.write_u8(match self {
+            InterfaceKind::Base1LdSt => 0,
+            InterfaceKind::Base2Ld1St => 1,
+            InterfaceKind::Malec => 2,
+        });
+    }
+}
+
+impl StableKey for LatencyVariant {
+    fn fold(&self, h: &mut StableHasher) {
+        h.write_u32(self.l1_latency());
+    }
+}
+
+impl StableKey for WayDetermination {
+    fn fold(&self, h: &mut StableHasher) {
+        match self {
+            WayDetermination::None => h.write_u8(0),
+            WayDetermination::WayTables => h.write_u8(1),
+            WayDetermination::WayTablesNoFeedback => h.write_u8(2),
+            WayDetermination::Wdu(n) => {
+                h.write_u8(3);
+                h.write_u64(u64::from(*n));
+            }
+        }
+    }
+}
+
+impl StableKey for AgwConfig {
+    fn fold(&self, h: &mut StableHasher) {
+        h.write_u8(self.load_only);
+        h.write_u8(self.store_only);
+        h.write_u8(self.shared);
+    }
+}
+
+impl StableKey for CacheGeometry {
+    fn fold(&self, h: &mut StableHasher) {
+        h.write_u64(self.total_bytes());
+        h.write_u32(self.ways());
+        h.write_u32(self.banks());
+        h.write_u64(self.line_bytes());
+        h.write_u32(self.sub_block_bits());
+    }
+}
+
+impl StableKey for PageGeometry {
+    fn fold(&self, h: &mut StableHasher) {
+        h.write_u64(self.page_bytes());
+        h.write_u64(self.line_bytes());
+    }
+}
+
+impl StableKey for SimConfig {
+    fn fold(&self, h: &mut StableHasher) {
+        self.interface.fold(h);
+        self.latency.fold(h);
+        self.way_determination.fold(h);
+        h.write_bool(self.load_merging);
+        h.write_bool(self.restrict_fill_ways);
+        self.l1.fold(h);
+        self.l2.fold(h);
+        self.page.fold(h);
+        h.write_u64(u64::from(self.tlb_entries));
+        h.write_u64(u64::from(self.utlb_entries));
+        h.write_u64(u64::from(self.lq_entries));
+        h.write_u64(u64::from(self.sb_entries));
+        h.write_u64(u64::from(self.mb_entries));
+        h.write_u64(u64::from(self.rob_entries));
+        h.write_u8(self.dispatch_width);
+        h.write_u8(self.issue_width);
+        h.write_u32(self.l2_latency);
+        h.write_u32(self.dram_latency);
+        h.write_u8(self.result_buses);
+        h.write_u8(self.input_buffer_held);
+        h.write_u32(self.address_bits);
+        match &self.agu_override {
+            None => h.write_u8(0),
+            Some(agus) => {
+                h.write_u8(1);
+                agus.fold(h);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_step_matches_the_definition() {
+        // FNV-1a: empty input hashes to the offset basis; one byte hashes
+        // to (offset ^ byte) * prime.
+        let h = StableHasher::new();
+        assert_eq!(h.finish(), FNV128_OFFSET);
+        let mut h = StableHasher::new();
+        h.write_u8(b'a');
+        assert_eq!(
+            h.finish(),
+            (FNV128_OFFSET ^ u128::from(b'a')).wrapping_mul(FNV128_PRIME)
+        );
+    }
+
+    #[test]
+    fn length_prefix_prevents_boundary_shifts() {
+        let mut a = StableHasher::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = StableHasher::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn every_figure4_config_keys_distinctly() {
+        let keys: Vec<u128> = SimConfig::figure4_set().iter().map(stable_key).collect();
+        for (i, a) in keys.iter().enumerate() {
+            for b in &keys[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn key_is_sensitive_to_each_toggle() {
+        let base = stable_key(&SimConfig::malec());
+        let mut cfg = SimConfig::malec();
+        cfg.load_merging = false;
+        assert_ne!(stable_key(&cfg), base);
+        let mut cfg = SimConfig::malec();
+        cfg.tlb_entries -= 1;
+        assert_ne!(stable_key(&cfg), base);
+        let mut cfg = SimConfig::malec();
+        cfg.way_determination = WayDetermination::Wdu(16);
+        assert_ne!(stable_key(&cfg), base);
+        assert_ne!(stable_key(&SimConfig::malec_wide()), base);
+    }
+
+    #[test]
+    fn key_is_stable_across_calls() {
+        // The contract the persistent cache rests on: no per-process
+        // randomness anywhere in the derivation.
+        assert_eq!(
+            stable_key(&SimConfig::base2ld1st()),
+            stable_key(&SimConfig::base2ld1st())
+        );
+    }
+}

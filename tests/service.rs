@@ -1,0 +1,210 @@
+//! End-to-end acceptance tests for the `malec-serve` batch service:
+//!
+//! * a spec submitted over HTTP produces per-cell results **bit-identical**
+//!   to a local `malec-cli run` of the same spec (compared by behavioral
+//!   digest, which folds every counter);
+//! * resubmitting an identical spec is served **entirely** from the result
+//!   cache — zero cells re-simulated — and the cache stats say so;
+//! * four clients submitting the same spec **concurrently** all get
+//!   bit-identical reports while the in-flight deduplication keeps the
+//!   total number of simulations at one per unique cell;
+//! * a persisted cache survives a server restart warm.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use malec_cli::run::run_parsed_spec;
+use malec_serve::client::Client;
+use malec_serve::json::{parse, Value};
+use malec_serve::server::Server;
+use malec_serve::spec::parse_spec;
+
+/// The spec both sides run. Three Table I configurations = three cells.
+fn spec_toml(name: &str) -> String {
+    format!(
+        "[scenario]\nname = \"{name}\"\nmode = \"mixed\"\nblock = 24\n\
+         [[scenario.part]]\nkind = \"benchmark\"\nbenchmark = \"gzip\"\nweight = 2\n\
+         [[scenario.part]]\nkind = \"store_burst\"\nweight = 1\n\
+         [sweep]\nconfigs = [\"Base1ldst\", \"Base2ld1st\", \"MALEC\"]\ninsts = 4000\nseed = 17\n\
+         [report]\nout = \"{name}.json\"\nmtr = \"{name}.mtr\"\n"
+    )
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("malec_service_{name}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    dir
+}
+
+/// The `config -> digest` pairs of a server report, in cell order.
+fn report_digests(report: &str) -> Vec<(String, String)> {
+    let v = parse(report).expect("report is valid JSON");
+    v.get("cells")
+        .and_then(Value::as_array)
+        .expect("cells array")
+        .iter()
+        .map(|c| {
+            (
+                c.get("config")
+                    .and_then(Value::as_str)
+                    .expect("config")
+                    .to_owned(),
+                c.get("digest")
+                    .and_then(Value::as_str)
+                    .expect("digest")
+                    .to_owned(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn submitted_jobs_match_local_runs_and_resubmission_is_fully_cached() {
+    let dir = tmp_dir("roundtrip");
+    let cache_path = dir.join("results.cache");
+    let toml = spec_toml("svc_roundtrip");
+
+    // Local ground truth: the ordinary record → sweep → replay-verify run.
+    let local = run_parsed_spec(
+        parse_spec(&toml).expect("spec parses"),
+        "inline",
+        &dir,
+        None,
+    )
+    .expect("local run");
+    assert!(local.all_replays_match());
+
+    let server = Server::bind("127.0.0.1:0", Some(2), Some(&cache_path))
+        .expect("bind")
+        .spawn()
+        .expect("spawn");
+    let client = Client::new(server.addr().to_string());
+
+    // First submission: cold cache, every cell simulated — and every cell
+    // digest bit-identical to the local run.
+    let first = client.submit(&toml).expect("submit");
+    let view = client.wait(first, Duration::from_secs(120)).expect("wait");
+    assert_eq!(view.cells, 3);
+    assert_eq!(view.simulated, 3, "cold cache simulates all cells");
+    let server_digests = report_digests(&client.report(first).expect("report"));
+    assert_eq!(server_digests.len(), local.cells.len());
+    for (cell, (config, digest)) in local.cells.iter().zip(&server_digests) {
+        assert_eq!(&cell.generated.config, config, "cell order is spec order");
+        assert_eq!(
+            &format!("{:#018x}", cell.digest),
+            digest,
+            "{config}: server cell must be bit-identical to the local run"
+        );
+    }
+
+    // Second submission: identical spec, zero simulations.
+    let second = client.submit(&toml).expect("resubmit");
+    let view = client.wait(second, Duration::from_secs(120)).expect("wait");
+    assert_eq!(view.simulated, 0, "nothing may re-simulate");
+    assert_eq!(
+        view.served_without_simulation(),
+        view.cells,
+        "the resubmission is served entirely from the result cache"
+    );
+    let stats = client.cache_stats().expect("stats");
+    assert_eq!(stats.entries, 3);
+    assert!(stats.hits >= 3, "stats record the cache service: {stats:?}");
+    assert_eq!(
+        report_digests(&client.report(second).expect("report")),
+        server_digests,
+        "cached report is bit-identical to the simulated one"
+    );
+
+    client.shutdown().expect("shutdown");
+    server.join().expect("clean exit");
+
+    // Restart on the same cache log: still zero simulations (warm disk).
+    let server = Server::bind("127.0.0.1:0", Some(2), Some(&cache_path))
+        .expect("rebind")
+        .spawn()
+        .expect("respawn");
+    let client = Client::new(server.addr().to_string());
+    let stats = client.cache_stats().expect("stats");
+    assert_eq!(stats.loaded, 3, "the log replays on open");
+    let third = client.submit(&toml).expect("submit after restart");
+    let view = client.wait(third, Duration::from_secs(120)).expect("wait");
+    assert_eq!(view.simulated, 0, "restarts keep the cache warm");
+    assert_eq!(
+        report_digests(&client.report(third).expect("report")),
+        server_digests,
+        "persisted summaries are bit-identical"
+    );
+    client.shutdown().expect("shutdown");
+    server.join().expect("clean exit");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn concurrent_overlapping_submissions_are_deduped_and_bit_identical() {
+    let dir = tmp_dir("concurrent");
+    let toml = spec_toml("svc_concurrent");
+
+    // Serial local ground truth (jobs = 1: strictly serial execution).
+    let local = run_parsed_spec(
+        parse_spec(&toml).expect("spec parses"),
+        "inline",
+        &dir,
+        Some(1),
+    )
+    .expect("serial local run");
+    let expected: Vec<(String, String)> = local
+        .cells
+        .iter()
+        .map(|c| (c.generated.config.clone(), format!("{:#018x}", c.digest)))
+        .collect();
+
+    let server = Server::bind("127.0.0.1:0", Some(4), None)
+        .expect("bind")
+        .spawn()
+        .expect("spawn");
+    let addr = server.addr().to_string();
+
+    // Four clients, same spec, simultaneously.
+    let reports: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let addr = addr.clone();
+                let toml = toml.clone();
+                scope.spawn(move || {
+                    let client = Client::new(addr);
+                    let job = client.submit(&toml).expect("submit");
+                    client.wait(job, Duration::from_secs(120)).expect("wait");
+                    client.report(job).expect("report")
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+
+    for report in &reports {
+        assert_eq!(
+            report_digests(report),
+            expected,
+            "every concurrent client gets cells bit-identical to the serial local run"
+        );
+    }
+
+    let client = Client::new(addr);
+    let stats = client.cache_stats().expect("stats");
+    assert_eq!(
+        stats.misses, 3,
+        "in-flight dedup: 4 overlapping jobs x 3 cells simulate each unique cell once"
+    );
+    assert_eq!(stats.entries, 3);
+    assert_eq!(
+        stats.hits + stats.coalesced,
+        9,
+        "the other nine cells were served without simulating"
+    );
+    client.shutdown().expect("shutdown");
+    server.join().expect("clean exit");
+    std::fs::remove_dir_all(&dir).ok();
+}
