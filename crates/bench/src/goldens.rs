@@ -151,6 +151,44 @@ mod tests {
     }
 
     #[test]
+    fn replicated_sweeps_keep_replicate_zero_on_the_golden_path() {
+        // The replication engine's core compatibility promise: replicate 0
+        // of a multi-seed sweep is the legacy single-seed run, bit for bit
+        // — checked here directly against the recorded golden table.
+        use malec_core::stats::Replication;
+        use malec_core::sweep::{ParameterSweep, SweepPoint};
+        use malec_trace::scenario::preset_named;
+
+        let scenario = preset_named("store_burst").expect("preset");
+        let points = vec![SweepPoint {
+            label: "MALEC".to_owned(),
+            config: SimConfig::malec(),
+        }];
+        let out = ParameterSweep::run_source_replicated(
+            &points,
+            &ScenarioSource::Scenario(scenario),
+            SCENARIO_INSTS,
+            DEFAULT_SEED,
+            &Replication::fixed(3),
+            None,
+        );
+        let &(_, _, golden) = SCENARIO_GOLDEN_DIGESTS
+            .iter()
+            .find(|&&(s, c, _)| s == "store_burst" && c == "MALEC")
+            .expect("golden cell exists");
+        assert_eq!(
+            digest(&out[0].replicates[0]),
+            golden,
+            "replicate 0 must reproduce the recorded golden digest"
+        );
+        assert_ne!(
+            digest(&out[0].replicates[1]),
+            golden,
+            "replicate 1 runs a genuinely different seed"
+        );
+    }
+
+    #[test]
     fn scenario_golden_table_covers_every_preset_cell() {
         use malec_trace::scenario::presets;
         let expected: Vec<(String, String)> = presets()

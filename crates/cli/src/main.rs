@@ -92,12 +92,14 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         return Err(usage());
     };
     let outcome = run_spec_file(Path::new(spec_path), jobs)?;
+    let seeds = outcome.spec.replication.seeds;
     println!(
-        "scenario {} ({}): {} cells x {} insts, {} worker(s), {:.3}s",
+        "scenario {} ({}): {} cells x {} insts x {} seed(s), {} worker(s), {:.3}s",
         outcome.spec.scenario.name,
         outcome.spec.scenario.segment_labels().join(" + "),
         outcome.cells.len(),
         outcome.spec.insts,
+        seeds,
         outcome.workers,
         outcome.wall_seconds,
     );
@@ -116,6 +118,30 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                 "MISMATCH"
             },
         );
+        if let Some(stats) = &cell.stats {
+            let ipc = stats.metric("ipc").expect("ipc is always reported");
+            let energy = stats
+                .metric("energy_per_access")
+                .expect("energy_per_access is always reported");
+            let ci = |m: &malec_core::stats::MetricSummary| {
+                m.ci95
+                    .map_or_else(|| "n/a".to_owned(), |w| format!("{w:.4}"))
+            };
+            println!(
+                "  {:<22} {} seed(s): ipc {:.3} ± {}  energy/access {:.4} ± {}{}",
+                "",
+                stats.n,
+                ipc.mean,
+                ci(ipc),
+                energy.mean,
+                ci(energy),
+                if stats.saved > 0 {
+                    format!("  (early stop saved {} replicate(s))", stats.saved)
+                } else {
+                    String::new()
+                },
+            );
+        }
     }
     println!(
         "  trace  -> {}\n  report -> {}",
@@ -260,7 +286,7 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
     println!(
         "submitted `{}` to {addr}: job {job} ({} cells)",
         spec.scenario.name,
-        spec.configs.len()
+        spec.configs.len() * spec.replication.initial_count() as usize,
     );
     if no_wait {
         println!("  poll with: malec-cli status {job} --addr {addr}");
@@ -278,11 +304,19 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
     }
     std::fs::write(&out_path, &report).map_err(|e| format!("write {out_path}: {e}"))?;
     println!(
-        "job {job} done in {:.3}s: {} simulated, {} cached, {} coalesced",
+        "job {job} done in {:.3}s: {} simulated, {} cached, {} coalesced{}",
         view.wall_seconds.unwrap_or(0.0),
         view.simulated,
         view.cached,
         view.coalesced,
+        if view.replicates_saved > 0 {
+            format!(
+                ", {} replicate(s) saved by early stop",
+                view.replicates_saved
+            )
+        } else {
+            String::new()
+        },
     );
     println!(
         "  cache: {}/{} cells served from cache",

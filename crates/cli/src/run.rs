@@ -2,26 +2,33 @@
 //!
 //! One spec run does four things, in order:
 //!
-//! 1. **Record** — generate the scenario's instruction stream once and
-//!    stream it into the spec's `.mtr` file;
-//! 2. **Sweep** — fan the configurations out over [`parallel_map_with`]
-//!    (capped by the operator's `--jobs N`, if given), each cell simulating
-//!    the *generator* stream;
-//! 3. **Replay-verify** — each cell also simulates the recorded `.mtr`
-//!    stream and both summaries are digested: replay must be bit-identical
-//!    to generation, every cell, every config;
-//! 4. **Report** — write the JSON report next to the spec's `out` path.
+//! 1. **Record** — generate the scenario's instruction stream once (under
+//!    the base seed) and stream it into the spec's `.mtr` file;
+//! 2. **Sweep** — fan `(configuration, replicate)` cells out over
+//!    [`parallel_map_with`] (capped by the operator's `--jobs N`, if
+//!    given); replicate `i` simulates the generator stream under
+//!    `replicate_seed(seed, i)`, and with a `ci_target` a configuration
+//!    stops spawning replicates once the target metric's relative 95 % CI
+//!    half-width converges (never before `min_seeds`);
+//! 3. **Replay-verify** — replicate 0 of each configuration (the recorded
+//!    seed) also simulates the `.mtr` stream and both summaries are
+//!    digested: replay must be bit-identical to generation, every config;
+//! 4. **Report** — write the JSON report (single-seed columns from
+//!    replicate 0, mean ± CI per metric when `seeds > 1`) next to the
+//!    spec's `out` path.
 
 use std::fs::File;
 use std::io::BufWriter;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
-use malec_core::parallel::{parallel_map_with, workers_for};
-use malec_core::{ScenarioSource, Simulator};
+use malec_core::parallel::workers_for;
+use malec_core::stats::{replicate_seed, ReplicateStats};
+use malec_core::sweep::replicate_rounds;
+use malec_core::{RunSummary, ScenarioSource, Simulator};
 use malec_trace::TraceWriter;
 
-use malec_serve::report::{render, CellResult};
+use malec_serve::report::{render, CellResult, ReportMeta};
 use malec_serve::spec::{parse_spec, SweepSpec};
 
 /// Everything a finished spec run produced.
@@ -29,8 +36,12 @@ use malec_serve::spec::{parse_spec, SweepSpec};
 pub struct SweepOutcome {
     /// The resolved spec.
     pub spec: SweepSpec,
-    /// Per-config results in spec order.
+    /// Per-config results in spec order (replicate 0 carries the
+    /// single-seed columns; `stats` the replicate distribution).
     pub cells: Vec<CellResult>,
+    /// Every replicate summary, config-major, replicate order (index 0 is
+    /// the legacy seed path).
+    pub replicates: Vec<Vec<RunSummary>>,
     /// Workers the parallel fan-out actually used.
     pub workers: usize,
     /// Wall-clock of the sweep (record and report excluded).
@@ -99,34 +110,67 @@ pub fn run_parsed_spec(
     };
     let generate = ScenarioSource::Scenario(spec.scenario.clone());
     let configs = spec.configs.clone();
-    let workers = workers_for(configs.len(), jobs);
+    let rep = spec.replication;
+    let workers = workers_for(configs.len() * rep.initial_count() as usize, jobs);
     let t = Instant::now();
-    let cells: Vec<Result<CellResult, String>> = parallel_map_with(
-        configs,
-        |cfg| {
+
+    // Shared round-based replicate driver (see `replicate_rounds`): each
+    // replicate produces its generator summary, and replicate 0 — the
+    // recorded seed — additionally verifies the .mtr replay reproduces the
+    // generator stream bit for bit. The per-config count is a pure
+    // function of the ordered replicate prefix, so results are
+    // bit-identical at any --jobs cap.
+    let rounds: Vec<Vec<(RunSummary, Option<RunSummary>)>> = replicate_rounds(
+        configs.len(),
+        &rep,
+        jobs,
+        |c, r| {
+            let cfg = &configs[c];
             let sim = Simulator::new(cfg.clone());
+            let seed = replicate_seed(spec.seed, r);
             let generated = sim
-                .run_source(&generate, spec.insts, spec.seed)
+                .run_source(&generate, spec.insts, seed)
                 .map_err(|e| format!("{}: generator run: {e}", cfg.label()))?;
-            let replayed = sim
-                .run_source(&replay, spec.insts, spec.seed)
-                .map_err(|e| format!("{}: replay run: {e}", cfg.label()))?;
-            Ok(CellResult::new(generated, &replayed))
+            let replayed = if r == 0 {
+                Some(
+                    sim.run_source(&replay, spec.insts, seed)
+                        .map_err(|e| format!("{}: replay run: {e}", cfg.label()))?,
+                )
+            } else {
+                None
+            };
+            Ok::<_, String>((generated, replayed))
         },
-        workers,
-    );
+        |pair| &pair.0,
+    )?;
     let wall_seconds = t.elapsed().as_secs_f64();
-    let cells: Vec<CellResult> = cells.into_iter().collect::<Result<_, _>>()?;
+
+    let mut replicates: Vec<Vec<RunSummary>> = Vec::with_capacity(configs.len());
+    let mut cells: Vec<CellResult> = Vec::with_capacity(configs.len());
+    for pairs in rounds {
+        let replayed = pairs[0].1.clone().expect("replicate 0 always replays");
+        let reps: Vec<RunSummary> = pairs.into_iter().map(|(generated, _)| generated).collect();
+        let cell = CellResult::new(reps[0].clone(), &replayed);
+        cells.push(if rep.replicated() {
+            cell.with_stats(ReplicateStats::from_replicates(&reps, rep.seeds))
+        } else {
+            cell
+        });
+        replicates.push(reps);
+    }
 
     let json = render(
-        spec_path,
-        &spec.scenario.name,
-        &spec.scenario.segment_labels(),
-        &spec.mtr,
-        spec.insts,
-        spec.seed,
-        workers,
-        wall_seconds,
+        &ReportMeta {
+            spec_path,
+            scenario: &spec.scenario.name,
+            segments: &spec.scenario.segment_labels(),
+            mtr_path: &spec.mtr,
+            insts: spec.insts,
+            seed: spec.seed,
+            seeds: rep.seeds,
+            workers,
+            wall_seconds,
+        },
         &cells,
     );
     if let Some(parent) = out_path.parent().filter(|p| !p.as_os_str().is_empty()) {
@@ -137,6 +181,7 @@ pub fn run_parsed_spec(
     Ok(SweepOutcome {
         spec,
         cells,
+        replicates,
         workers,
         wall_seconds,
         mtr_path,

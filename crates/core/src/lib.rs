@@ -51,6 +51,7 @@ pub mod sbmb;
 pub mod segmented_wt;
 pub mod sim;
 pub mod source;
+pub mod stats;
 pub mod sweep;
 pub mod waytable;
 pub mod wdu;
@@ -61,3 +62,4 @@ pub use malec::MalecInterface;
 pub use metrics::{InterfaceStats, RunSummary};
 pub use sim::Simulator;
 pub use source::ScenarioSource;
+pub use stats::{CiMetric, MetricSummary, ReplicateStats, Replication, Welford};

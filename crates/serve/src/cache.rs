@@ -42,17 +42,32 @@ const VERSION: u8 = 1;
 
 /// Version tag folded into every cache key. Bump when any [`StableKey`]
 /// encoding (or the summary codec) changes, so persisted logs from older
-/// encodings can never alias new keys.
-const KEY_VERSION: u8 = 1;
+/// encodings can never alias new keys. (v2: the replicate index joined the
+/// key, so replicate cells can never collide with each other or with
+/// legacy single-seed cells.)
+const KEY_VERSION: u8 = 2;
 
 /// Derives the stable 128-bit cache key of one simulation cell.
-pub fn cache_key(config: &SimConfig, scenario: &Scenario, insts: u64, seed: u64) -> u128 {
+///
+/// `seed` is the **base** seed of the submission and `replicate` the cell's
+/// replicate index; the pair is folded (not the derived per-replicate
+/// seed), so a legacy single-seed cell — always `(seed, 0)` — and every
+/// replicate address distinct entries even under adversarial seed choices
+/// (e.g. a base seed equal to another submission's derived replicate seed).
+pub fn cache_key(
+    config: &SimConfig,
+    scenario: &Scenario,
+    insts: u64,
+    seed: u64,
+    replicate: u32,
+) -> u128 {
     let mut h = StableHasher::new();
     h.write_u8(KEY_VERSION);
     config.fold(&mut h);
     scenario.fold(&mut h);
     h.write_u64(insts);
     h.write_u64(seed);
+    replicate.fold(&mut h);
     h.finish()
 }
 
@@ -339,15 +354,38 @@ mod tests {
     }
 
     #[test]
-    fn keys_separate_config_scenario_seed_and_horizon() {
+    fn keys_separate_config_scenario_seed_horizon_and_replicate() {
         let s1 = preset_named("store_burst").expect("preset");
         let s2 = preset_named("tlb_thrash").expect("preset");
-        let base = cache_key(&SimConfig::malec(), &s1, 1_000, 1);
-        assert_eq!(base, cache_key(&SimConfig::malec(), &s1, 1_000, 1));
-        assert_ne!(base, cache_key(&SimConfig::base1ldst(), &s1, 1_000, 1));
-        assert_ne!(base, cache_key(&SimConfig::malec(), &s2, 1_000, 1));
-        assert_ne!(base, cache_key(&SimConfig::malec(), &s1, 2_000, 1));
-        assert_ne!(base, cache_key(&SimConfig::malec(), &s1, 1_000, 2));
+        let base = cache_key(&SimConfig::malec(), &s1, 1_000, 1, 0);
+        assert_eq!(base, cache_key(&SimConfig::malec(), &s1, 1_000, 1, 0));
+        assert_ne!(base, cache_key(&SimConfig::base1ldst(), &s1, 1_000, 1, 0));
+        assert_ne!(base, cache_key(&SimConfig::malec(), &s2, 1_000, 1, 0));
+        assert_ne!(base, cache_key(&SimConfig::malec(), &s1, 2_000, 1, 0));
+        assert_ne!(base, cache_key(&SimConfig::malec(), &s1, 1_000, 2, 0));
+        assert_ne!(base, cache_key(&SimConfig::malec(), &s1, 1_000, 1, 1));
+    }
+
+    #[test]
+    fn replicate_cells_never_collide_with_legacy_or_each_other() {
+        use malec_trace::seed::replicate_seed;
+        let s = preset_named("store_burst").expect("preset");
+        let cfg = SimConfig::malec();
+        // Adversarial base seed: another submission's derived replicate
+        // seed. Folding (base, replicate) instead of the derived seed keeps
+        // the cells distinct.
+        let derived = replicate_seed(1, 3);
+        assert_ne!(
+            cache_key(&cfg, &s, 1_000, 1, 3),
+            cache_key(&cfg, &s, 1_000, derived, 0),
+            "replicate 3 of base 1 must not alias a legacy cell at the derived seed"
+        );
+        let keys: Vec<u128> = (0..16).map(|r| cache_key(&cfg, &s, 1_000, 1, r)).collect();
+        for (i, a) in keys.iter().enumerate() {
+            for b in &keys[i + 1..] {
+                assert_ne!(a, b, "replicates of one cell must key distinctly");
+            }
+        }
     }
 
     #[test]

@@ -33,6 +33,8 @@ pub struct JobView {
     pub coalesced: u64,
     /// Cells still queued or simulating.
     pub pending: u64,
+    /// Replicates a CI target saved across the job's cell groups.
+    pub replicates_saved: u64,
     /// Submit-to-done wall clock, once finished.
     pub wall_seconds: Option<f64>,
 }
@@ -111,6 +113,11 @@ impl Client {
             cached: field(&v, "cached")?,
             coalesced: field(&v, "coalesced")?,
             pending: field(&v, "pending")?,
+            // Absent on pre-replication servers; default rather than fail.
+            replicates_saved: v
+                .get("replicates_saved")
+                .and_then(Value::as_u64)
+                .unwrap_or(0),
             wall_seconds: v.get("wall_seconds").and_then(Value::as_f64),
         })
     }

@@ -101,13 +101,13 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
         return Err(bad("request target must be an absolute path"));
     }
 
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
     // One extra iteration beyond MAX_HEADERS for the terminating blank
     // line, so a request with exactly MAX_HEADERS headers is accepted.
     for _ in 0..=MAX_HEADERS {
         let line = read_line(&mut reader)?;
         if line.is_empty() {
-            let mut body = vec![0u8; content_length];
+            let mut body = vec![0u8; content_length.unwrap_or(0)];
             reader.read_exact(&mut body)?;
             return Ok(Request { method, path, body });
         }
@@ -115,16 +115,32 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
             return Err(bad("malformed header"));
         };
         if name.eq_ignore_ascii_case("content-length") {
-            content_length = value
-                .trim()
-                .parse()
-                .map_err(|_| bad("bad Content-Length"))?;
-            if content_length > MAX_BODY {
+            let len = parse_content_length(value, content_length)?;
+            if len > MAX_BODY {
                 return Err(bad("body too large"));
             }
+            content_length = Some(len);
         }
     }
     Err(bad("too many headers"))
+}
+
+/// Parses one `Content-Length` value against any previously seen one.
+/// Duplicate headers with the **same** value are tolerated (they are
+/// unambiguous); *conflicting* duplicates are refused — the historical
+/// last-one-wins behavior is exactly the parsing ambiguity behind request
+/// smuggling, and a batch API has no reason to guess.
+fn parse_content_length(value: &str, previous: Option<usize>) -> io::Result<usize> {
+    let len: usize = value
+        .trim()
+        .parse()
+        .map_err(|_| bad("bad Content-Length"))?;
+    match previous {
+        Some(prev) if prev != len => Err(bad(format!(
+            "conflicting Content-Length headers ({prev} vs {len})"
+        ))),
+        _ => Ok(len),
+    }
 }
 
 /// Human reason phrase for the status codes the service uses.
@@ -206,10 +222,7 @@ pub fn request(
         }
         if let Some((name, value)) = line.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
-                let len = value
-                    .trim()
-                    .parse()
-                    .map_err(|_| bad("bad Content-Length"))?;
+                let len = parse_content_length(value, content_length)?;
                 if len > MAX_BODY {
                     return Err(bad("response too large"));
                 }
@@ -290,6 +303,60 @@ mod tests {
         let addr = spawn_echo();
         let (_, body) = request(addr, "GET", "/v1/jobs/3?verbose=1", b"").expect("request");
         assert!(body.starts_with("GET /v1/jobs/3 "), "{body}");
+    }
+
+    #[test]
+    fn conflicting_duplicate_content_lengths_are_rejected() {
+        // Server side: the request parser must refuse to pick a winner
+        // between two disagreeing Content-Length headers.
+        let addr = spawn_echo();
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(
+                b"POST /v1/jobs HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 11\r\n\r\nabcdefghijk",
+            )
+            .expect("write");
+        let mut out = String::new();
+        stream.read_to_string(&mut out).expect("read");
+        assert!(out.starts_with("HTTP/1.1 400"), "{out}");
+        assert!(out.contains("conflicting Content-Length"), "{out}");
+    }
+
+    #[test]
+    fn identical_duplicate_content_lengths_are_tolerated() {
+        // Duplicates that agree are unambiguous; the body parses normally.
+        let addr = spawn_echo();
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"POST /x HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 3\r\n\r\nabc")
+            .expect("write");
+        let mut out = String::new();
+        stream.read_to_string(&mut out).expect("read");
+        assert!(out.starts_with("HTTP/1.1 200"), "{out}");
+        assert!(out.ends_with("POST /x abc"), "{out}");
+    }
+
+    #[test]
+    fn client_rejects_conflicting_content_lengths_in_responses() {
+        // A malicious or broken server must not trick the client into
+        // reading the wrong byte count.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("accept");
+            read_request(&mut stream).ok();
+            stream
+                .write_all(
+                    b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\nContent-Length: 5\r\n\r\nhello",
+                )
+                .ok();
+        });
+        let err = request(addr, "GET", "/", b"").expect_err("must refuse");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(
+            err.to_string().contains("conflicting Content-Length"),
+            "{err}"
+        );
     }
 
     #[test]

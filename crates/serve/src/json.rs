@@ -125,6 +125,7 @@ pub fn parse(input: &str) -> Result<Value, JsonError> {
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let v = p.value()?;
@@ -135,9 +136,18 @@ pub fn parse(input: &str) -> Result<Value, JsonError> {
     Ok(v)
 }
 
+/// Maximum container nesting. The parser recurses once per `{`/`[`, so
+/// without a bound a body like `[[[[…` — one byte per level — overflows
+/// the thread stack long before any size limit trips. The service's own
+/// documents nest 3–4 levels; 128 is generous headroom while keeping the
+/// worst-case recursion depth trivially stack-safe.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    /// Current container nesting depth (bounded by [`MAX_DEPTH`]).
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -190,12 +200,25 @@ impl<'a> Parser<'a> {
         }
     }
 
+    /// Bumps the nesting depth on container entry; errors instead of
+    /// recursing past [`MAX_DEPTH`] (the guard against stack overflow on
+    /// adversarial `[[[[…` bodies).
+    fn enter(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_DEPTH} levels")));
+        }
+        Ok(())
+    }
+
     fn object(&mut self) -> Result<Value, JsonError> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut members = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Object(members));
         }
         loop {
@@ -211,6 +234,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Object(members));
                 }
                 _ => return Err(self.err("expected `,` or `}` in object")),
@@ -220,10 +244,12 @@ impl<'a> Parser<'a> {
 
     fn array(&mut self) -> Result<Value, JsonError> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut elements = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Array(elements));
         }
         loop {
@@ -234,6 +260,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Array(elements));
                 }
                 _ => return Err(self.err("expected `,` or `]` in array")),
@@ -390,6 +417,23 @@ mod tests {
         ] {
             assert!(parse(doc).is_err(), "`{doc}` must be rejected");
         }
+    }
+
+    #[test]
+    fn deep_nesting_is_an_error_not_a_stack_overflow() {
+        // One byte per recursion level: without the depth guard, 100k open
+        // brackets overflow a worker thread's stack. With it, this is a
+        // clean parse error.
+        for open in ["[", "{\"k\":"] {
+            let doc = open.repeat(100_000);
+            let err = parse(&doc).expect_err("must error, never crash");
+            assert!(err.message.contains("nesting"), "{err}");
+        }
+        // Nesting at the limit still parses.
+        let ok = format!("{}1{}", "[".repeat(128), "]".repeat(128));
+        assert!(parse(&ok).is_ok(), "128 levels are within the bound");
+        let too_deep = format!("{}1{}", "[".repeat(129), "]".repeat(129));
+        assert!(parse(&too_deep).is_err());
     }
 
     #[test]

@@ -4,18 +4,23 @@
 //! the generator-vs-replay digest verdict.
 
 use malec_core::digest::digest;
+use malec_core::stats::ReplicateStats;
 use malec_core::RunSummary;
 
-/// One config's pair of runs: generated stream and `.mtr` replay.
+/// One config's pair of runs: generated stream and `.mtr` replay. Under
+/// multi-seed replication the single-seed fields describe replicate 0 (the
+/// legacy seed path) and [`stats`](Self::stats) carries the distribution.
 #[derive(Clone, Debug)]
 pub struct CellResult {
-    /// The generator-driven run.
+    /// The generator-driven run (replicate 0 when replicated).
     pub generated: RunSummary,
     /// Digest of the generator-driven run.
     pub digest: u64,
     /// Digest of the replay-driven run (bit-identical when the record/
     /// replay path is lossless).
     pub replay_digest: u64,
+    /// Per-metric replicate statistics (`None` for single-seed cells).
+    pub stats: Option<ReplicateStats>,
 }
 
 impl CellResult {
@@ -27,7 +32,15 @@ impl CellResult {
             generated,
             digest: d,
             replay_digest: r,
+            stats: None,
         }
+    }
+
+    /// Attaches replicate statistics to this cell.
+    #[must_use]
+    pub fn with_stats(mut self, stats: ReplicateStats) -> Self {
+        self.stats = Some(stats);
+        self
     }
 
     /// Whether replaying the recorded trace reproduced the generator run
@@ -48,6 +61,7 @@ impl CellResult {
             generated,
             digest: d,
             replay_digest: d,
+            stats: None,
         }
     }
 }
@@ -80,23 +94,59 @@ fn str_list<S: AsRef<str>>(items: impl IntoIterator<Item = S>) -> String {
     format!("[{body}]")
 }
 
+/// The run-level facts a report carries besides its cells.
+#[derive(Clone, Debug)]
+pub struct ReportMeta<'a> {
+    /// Where the spec came from (a path, `inline`, or `job:<id>`).
+    pub spec_path: &'a str,
+    /// Scenario name.
+    pub scenario: &'a str,
+    /// Segment labels of the scenario.
+    pub segments: &'a [&'a str],
+    /// Recorded trace path.
+    pub mtr_path: &'a str,
+    /// Instructions per cell.
+    pub insts: u64,
+    /// Base seed (replicate 0's seed).
+    pub seed: u64,
+    /// Maximum replicates per cell (1 = the legacy single-seed sweep).
+    pub seeds: u32,
+    /// Worker fan-out used.
+    pub workers: usize,
+    /// Sweep wall clock.
+    pub wall_seconds: f64,
+}
+
+/// Renders one cell's replicate-statistics block (mean ± 95 % CI, min,
+/// max, per metric), indented for the cell row.
+fn stats_block(stats: &ReplicateStats) -> String {
+    let mut out = format!(
+        "      \"replicates\": {},\n      \"replicates_saved\": {},\n      \"metrics\": {{\n",
+        stats.n, stats.saved
+    );
+    let last = stats.metrics.len();
+    for (i, (name, m)) in stats.metrics.iter().enumerate() {
+        let ci = m
+            .ci95
+            .map_or_else(|| "null".to_owned(), |w| format!("{w:.6}"));
+        out.push_str(&format!(
+            "        \"{name}\": {{ \"mean\": {:.6}, \"ci95\": {ci}, \"min\": {:.6}, \"max\": {:.6} }}{}\n",
+            m.mean,
+            m.min,
+            m.max,
+            if i + 1 == last { "" } else { "," },
+        ));
+    }
+    out.push_str("      },\n");
+    out
+}
+
 /// Renders the sweep report as pretty-printed JSON.
-#[allow(clippy::too_many_arguments)] // a report has this many facts
-pub fn render(
-    spec_path: &str,
-    scenario: &str,
-    segments: &[&str],
-    mtr_path: &str,
-    insts: u64,
-    seed: u64,
-    workers: usize,
-    wall_seconds: f64,
-    cells: &[CellResult],
-) -> String {
+pub fn render(meta: &ReportMeta<'_>, cells: &[CellResult]) -> String {
     let configs = str_list(cells.iter().map(|c| c.generated.config.as_str()));
     let n = cells.len();
-    let cells_per_sec = if wall_seconds > 0.0 {
-        n as f64 / wall_seconds
+    let cells_per_sec = if meta.wall_seconds > 0.0 {
+        n as f64 / meta.wall_seconds
     } else {
         0.0
     };
@@ -104,8 +154,9 @@ pub fn render(
     let mut rows = String::new();
     for (i, c) in cells.iter().enumerate() {
         let s = &c.generated;
+        let stats = c.stats.as_ref().map(stats_block).unwrap_or_default();
         rows.push_str(&format!(
-            "    {{\n      \"config\": \"{}\",\n      \"cycles\": {},\n      \"ipc\": {:.4},\n      \"l1_miss_rate\": {:.6},\n      \"utlb_miss_rate\": {:.6},\n      \"coverage\": {:.4},\n      \"merge_ratio\": {:.4},\n      \"energy_total\": {:.4},\n      \"digest\": \"{:#018x}\",\n      \"replay_digest\": \"{:#018x}\",\n      \"replay_matches\": {}\n    }}{}\n",
+            "    {{\n      \"config\": \"{}\",\n      \"cycles\": {},\n      \"ipc\": {:.4},\n      \"l1_miss_rate\": {:.6},\n      \"utlb_miss_rate\": {:.6},\n      \"coverage\": {:.4},\n      \"merge_ratio\": {:.4},\n      \"energy_total\": {:.4},\n{}      \"digest\": \"{:#018x}\",\n      \"replay_digest\": \"{:#018x}\",\n      \"replay_matches\": {}\n    }}{}\n",
             esc(&s.config),
             s.core.cycles,
             s.core.ipc(),
@@ -114,6 +165,7 @@ pub fn render(
             s.interface.coverage(),
             s.interface.merge_ratio(),
             s.energy.total(),
+            stats,
             c.digest,
             c.replay_digest,
             c.replay_matches(),
@@ -121,17 +173,18 @@ pub fn render(
         ));
     }
     format!(
-        "{{\n  \"bench\": \"malec_scenario_sweep\",\n  \"spec\": \"{}\",\n  \"scenario\": \"{}\",\n  \"segments\": {},\n  \"mtr\": \"{}\",\n  \"workload\": {{\n    \"configs\": {},\n    \"insts_per_cell\": {},\n    \"seed\": {},\n    \"cells\": {}\n  }},\n  \"workers\": {},\n  \"wall_seconds\": {:.4},\n  \"cells_per_sec\": {:.3},\n  \"replay_matches_generator\": {},\n  \"cells\": [\n{}  ]\n}}\n",
-        esc(spec_path),
-        esc(scenario),
-        str_list(segments.iter().copied()),
-        esc(mtr_path),
+        "{{\n  \"bench\": \"malec_scenario_sweep\",\n  \"spec\": \"{}\",\n  \"scenario\": \"{}\",\n  \"segments\": {},\n  \"mtr\": \"{}\",\n  \"workload\": {{\n    \"configs\": {},\n    \"insts_per_cell\": {},\n    \"seed\": {},\n    \"seeds\": {},\n    \"cells\": {}\n  }},\n  \"workers\": {},\n  \"wall_seconds\": {:.4},\n  \"cells_per_sec\": {:.3},\n  \"replay_matches_generator\": {},\n  \"cells\": [\n{}  ]\n}}\n",
+        esc(meta.spec_path),
+        esc(meta.scenario),
+        str_list(meta.segments.iter().copied()),
+        esc(meta.mtr_path),
         configs,
-        insts,
-        seed,
+        meta.insts,
+        meta.seed,
+        meta.seeds,
         n,
-        workers,
-        wall_seconds,
+        meta.workers,
+        meta.wall_seconds,
         cells_per_sec,
         all_match,
         rows,
@@ -145,6 +198,20 @@ mod tests {
     use malec_trace::benchmark_named;
     use malec_types::SimConfig;
 
+    fn meta<'a>(spec_path: &'a str, segments: &'a [&'a str], seeds: u32) -> ReportMeta<'a> {
+        ReportMeta {
+            spec_path,
+            scenario: "demo",
+            segments,
+            mtr_path: "demo.mtr",
+            insts: 2_000,
+            seed: 1,
+            seeds,
+            workers: 3,
+            wall_seconds: 0.5,
+        }
+    }
+
     #[test]
     fn report_is_wellformed_and_escaped() {
         let gzip = benchmark_named("gzip").unwrap();
@@ -152,20 +219,15 @@ mod tests {
         let cell = CellResult::new(run.clone(), &run);
         assert!(cell.replay_matches());
         let json = render(
-            "spec \"quoted\".toml",
-            "demo",
-            &["gzip"],
-            "demo.mtr",
-            2_000,
-            1,
-            3,
-            0.5,
+            &meta("spec \"quoted\".toml", &["gzip"], 1),
             std::slice::from_ref(&cell),
         );
         assert!(json.contains("\\\"quoted\\\""), "escaping applied");
         assert!(json.contains("\"replay_matches_generator\": true"));
         assert!(json.contains("\"workers\": 3"));
+        assert!(json.contains("\"seeds\": 1"));
         assert!(json.contains("\"cells_per_sec\": 2.000"));
+        assert!(!json.contains("\"metrics\""), "no stats block for one seed");
         // Balanced braces/brackets (cheap well-formedness probe; the full
         // shape is exercised end-to-end by the CLI integration test).
         assert_eq!(
@@ -177,13 +239,49 @@ mod tests {
     }
 
     #[test]
+    fn replicate_stats_render_as_parseable_metric_rows() {
+        use malec_core::stats::{replicate_seed, ReplicateStats};
+        let gzip = benchmark_named("gzip").unwrap();
+        let sim = Simulator::new(SimConfig::malec());
+        let reps: Vec<_> = (0..4)
+            .map(|i| sim.run(&gzip, 2_000, replicate_seed(1, i)))
+            .collect();
+        let cell = CellResult::from_generated(reps[0].clone())
+            .with_stats(ReplicateStats::from_replicates(&reps, 6));
+        let json = render(&meta("inline", &["gzip"], 6), &[cell]);
+        assert!(json.contains("\"seeds\": 6"));
+        assert!(json.contains("\"replicates\": 4"));
+        assert!(json.contains("\"replicates_saved\": 2"));
+        let v = crate::json::parse(&json).expect("report stays valid JSON");
+        let cells = v
+            .get("cells")
+            .and_then(crate::json::Value::as_array)
+            .unwrap();
+        let ipc = cells[0]
+            .get("metrics")
+            .and_then(|m| m.get("ipc"))
+            .expect("ipc metrics row");
+        let mean = ipc
+            .get("mean")
+            .and_then(crate::json::Value::as_f64)
+            .unwrap();
+        let min = ipc.get("min").and_then(crate::json::Value::as_f64).unwrap();
+        let max = ipc.get("max").and_then(crate::json::Value::as_f64).unwrap();
+        assert!(min <= mean && mean <= max);
+        assert!(ipc
+            .get("ci95")
+            .and_then(crate::json::Value::as_f64)
+            .is_some());
+    }
+
+    #[test]
     fn mismatched_digests_are_reported() {
         let gzip = benchmark_named("gzip").unwrap();
         let a = Simulator::new(SimConfig::malec()).run(&gzip, 1_000, 1);
         let b = Simulator::new(SimConfig::malec()).run(&gzip, 1_000, 2);
         let cell = CellResult::new(a, &b);
         assert!(!cell.replay_matches());
-        let json = render("s", "d", &[], "m", 1_000, 1, 1, 0.1, &[cell]);
+        let json = render(&meta("s", &[], 1), &[cell]);
         assert!(json.contains("\"replay_matches_generator\": false"));
     }
 }

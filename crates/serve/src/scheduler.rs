@@ -32,12 +32,13 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use malec_core::parallel::worker_count;
+use malec_core::stats::{replicate_seed, ReplicateStats};
 use malec_core::{RunSummary, ScenarioSource, Simulator};
 use malec_trace::Scenario;
 use malec_types::SimConfig;
 
 use crate::cache::{cache_key, CacheStats, ResultCache};
-use crate::report::{render, CellResult};
+use crate::report::{render, CellResult, ReportMeta};
 use crate::spec::SweepSpec;
 
 /// Server-side job identifier.
@@ -61,20 +62,41 @@ pub enum Provenance {
     Coalesced,
 }
 
-/// One schedulable cell.
+/// One schedulable cell: a `(config, replicate)` pair of one job. The
+/// cache key folds `(base seed, replicate)`; the simulation runs under the
+/// derived `replicate_seed(seed, replicate)`.
 struct WorkUnit {
     job: JobId,
     cell: usize,
     config: SimConfig,
     scenario: Arc<Scenario>,
     insts: u64,
+    /// The job's base seed (replicate 0 runs it verbatim).
     seed: u64,
+    /// Replicate index within the config's cell group.
+    replicate: u32,
 }
 
-/// One submitted spec and its per-cell progress.
+/// Replication progress of one config's cell group.
+struct Group {
+    /// Replicates enqueued so far (cells `0..planned` of this group exist).
+    planned: u32,
+    /// Whether the group stopped growing (seed cap or CI convergence).
+    converged: bool,
+    /// Replicates the CI target saved (`seeds - planned` once converged
+    /// early; 0 otherwise).
+    saved: u32,
+}
+
+/// One submitted spec and its per-cell progress. `cells` and `units` grow
+/// in lockstep when a CI-targeted group is extended by one replicate.
 struct Job {
     spec: SweepSpec,
+    scenario: Arc<Scenario>,
+    /// `(config index, replicate index)` of each cell slot.
+    units: Vec<(usize, u32)>,
     cells: Vec<Option<(Arc<RunSummary>, Provenance)>>,
+    groups: Vec<Group>,
     started: Instant,
     wall_seconds: Option<f64>,
 }
@@ -89,6 +111,23 @@ impl Job {
             .iter()
             .filter(|c| matches!(c, Some((_, q)) if *q == p))
             .count()
+    }
+
+    /// This config group's finished replicate summaries, in replicate
+    /// order; `None` while any planned replicate is still pending.
+    fn group_replicates(&self, config: usize) -> Option<Vec<Arc<RunSummary>>> {
+        let mut reps: Vec<(u32, Arc<RunSummary>)> = Vec::new();
+        for (&(c, r), cell) in self.units.iter().zip(&self.cells) {
+            if c == config {
+                reps.push((r, cell.as_ref()?.0.clone()));
+            }
+        }
+        reps.sort_unstable_by_key(|&(r, _)| r);
+        Some(reps.into_iter().map(|(_, s)| s).collect())
+    }
+
+    fn replicates_saved(&self) -> u32 {
+        self.groups.iter().map(|g| g.saved).sum()
     }
 }
 
@@ -111,6 +150,8 @@ pub struct JobStatus {
     pub coalesced: usize,
     /// Cells still queued or simulating.
     pub pending: usize,
+    /// Replicates the CI target saved across all cell groups so far.
+    pub replicates_saved: usize,
     /// Wall-clock seconds from submit to completion (`None` while
     /// running).
     pub wall_seconds: Option<f64>,
@@ -186,26 +227,44 @@ impl Engine {
         self.inner.workers
     }
 
-    /// Shards `spec` into per-cell units and enqueues them; returns the job
-    /// id immediately (cells complete asynchronously).
+    /// Shards `spec` into per-cell units — one per `(config, replicate)`
+    /// pair, starting with the replication policy's initial count — and
+    /// enqueues them; returns the job id immediately (cells complete
+    /// asynchronously; CI-targeted groups may grow by one replicate at a
+    /// time until they converge or hit the seed cap).
     pub fn submit(&self, spec: SweepSpec) -> JobId {
         let id = self.inner.next_job.fetch_add(1, Ordering::Relaxed);
         let scenario = Arc::new(spec.scenario.clone());
-        let units: Vec<WorkUnit> = spec
-            .configs
-            .iter()
-            .enumerate()
-            .map(|(cell, config)| WorkUnit {
-                job: id,
-                cell,
-                config: config.clone(),
-                scenario: Arc::clone(&scenario),
-                insts: spec.insts,
-                seed: spec.seed,
-            })
-            .collect();
+        let initial = spec.replication.initial_count();
+        let mut units: Vec<WorkUnit> = Vec::new();
+        let mut unit_map: Vec<(usize, u32)> = Vec::new();
+        for (config_idx, config) in spec.configs.iter().enumerate() {
+            for replicate in 0..initial {
+                unit_map.push((config_idx, replicate));
+                units.push(WorkUnit {
+                    job: id,
+                    cell: units.len(),
+                    config: config.clone(),
+                    scenario: Arc::clone(&scenario),
+                    insts: spec.insts,
+                    seed: spec.seed,
+                    replicate,
+                });
+            }
+        }
         let job = Job {
-            cells: vec![None; spec.configs.len()],
+            cells: vec![None; units.len()],
+            units: unit_map,
+            groups: spec
+                .configs
+                .iter()
+                .map(|_| Group {
+                    planned: initial,
+                    converged: false,
+                    saved: 0,
+                })
+                .collect(),
+            scenario,
             spec,
             started: Instant::now(),
             wall_seconds: None,
@@ -250,6 +309,7 @@ impl Engine {
             cached,
             coalesced,
             pending: j.cells.len() - finished,
+            replicates_saved: j.replicates_saved() as usize,
             wall_seconds: j.wall_seconds,
         })
     }
@@ -264,23 +324,39 @@ impl Engine {
         }
         let jobs = self.inner.jobs.lock().expect("jobs lock");
         let j = jobs.get(&job)?;
-        let cells: Vec<CellResult> = j
-            .cells
-            .iter()
-            .map(|c| {
-                let (summary, _) = c.as_ref().expect("job is done");
-                CellResult::from_generated((**summary).clone())
+        // One report row per config group: replicate 0 carries the
+        // single-seed columns (the legacy seed path), the stats block the
+        // replicate distribution.
+        let cells: Vec<CellResult> = (0..j.spec.configs.len())
+            .map(|config_idx| {
+                let reps = j
+                    .group_replicates(config_idx)
+                    .expect("job is done, every replicate finished");
+                let cell = CellResult::from_generated((*reps[0]).clone());
+                if j.spec.replication.replicated() {
+                    let owned: Vec<RunSummary> = reps.iter().map(|s| (**s).clone()).collect();
+                    cell.with_stats(ReplicateStats::from_replicates(
+                        &owned,
+                        j.spec.replication.seeds,
+                    ))
+                } else {
+                    cell
+                }
             })
             .collect();
+        let spec_path = format!("job:{job}");
         let json = render(
-            &format!("job:{job}"),
-            &j.spec.scenario.name,
-            &j.spec.scenario.segment_labels(),
-            &j.spec.mtr,
-            j.spec.insts,
-            j.spec.seed,
-            self.inner.workers,
-            j.wall_seconds.unwrap_or(0.0),
+            &ReportMeta {
+                spec_path: &spec_path,
+                scenario: &j.spec.scenario.name,
+                segments: &j.spec.scenario.segment_labels(),
+                mtr_path: &j.spec.mtr,
+                insts: j.spec.insts,
+                seed: j.spec.seed,
+                seeds: j.spec.replication.seeds,
+                workers: self.inner.workers,
+                wall_seconds: j.wall_seconds.unwrap_or(0.0),
+            },
             &cells,
         );
         Some(Ok(json))
@@ -351,7 +427,13 @@ enum Claim {
 }
 
 fn process(inner: &EngineInner, unit: WorkUnit) {
-    let key = cache_key(&unit.config, &unit.scenario, unit.insts, unit.seed);
+    let key = cache_key(
+        &unit.config,
+        &unit.scenario,
+        unit.insts,
+        unit.seed,
+        unit.replicate,
+    );
     let claim = {
         // Lock order: cache before in_flight, here and in the completion
         // path below.
@@ -381,7 +463,7 @@ fn process(inner: &EngineInner, unit: WorkUnit) {
                 .run_source(
                     &ScenarioSource::Scenario((*unit.scenario).clone()),
                     unit.insts,
-                    unit.seed,
+                    replicate_seed(unit.seed, unit.replicate),
                 )
                 .expect("generator sources cannot fail");
             let summary = Arc::new(summary);
@@ -429,14 +511,68 @@ fn finish_cell(
     summary: Arc<RunSummary>,
     provenance: Provenance,
 ) {
-    let mut jobs = inner.jobs.lock().expect("jobs lock");
-    let Some(j) = jobs.get_mut(&job) else {
-        return;
+    let new_unit = {
+        let mut jobs = inner.jobs.lock().expect("jobs lock");
+        let Some(j) = jobs.get_mut(&job) else {
+            return;
+        };
+        j.cells[cell] = Some((summary, provenance));
+        let (config_idx, _) = j.units[cell];
+        let new_unit = extend_group(j, job, config_idx);
+        if j.done() && j.wall_seconds.is_none() {
+            j.wall_seconds = Some(j.started.elapsed().as_secs_f64());
+        }
+        new_unit
     };
-    j.cells[cell] = Some((summary, provenance));
-    if j.done() && j.wall_seconds.is_none() {
-        j.wall_seconds = Some(j.started.elapsed().as_secs_f64());
+    // Enqueue outside the jobs lock (lock order everywhere: jobs before
+    // queue is never held; queue is only ever taken alone).
+    if let Some(unit) = new_unit {
+        let mut q = inner.queue.lock().expect("queue lock");
+        q.push_back(unit);
+        drop(q);
+        inner.available.notify_all();
     }
+}
+
+/// Replication step for one config group: once every planned replicate has
+/// finished, either certify convergence (CI target met, or the seed cap
+/// reached) or grow the group by exactly one replicate. Growing one at a
+/// time makes the final count the smallest prefix satisfying the policy —
+/// the same count a serial driver picks.
+fn extend_group(j: &mut Job, job: JobId, config_idx: usize) -> Option<WorkUnit> {
+    let rep = j.spec.replication;
+    if j.groups[config_idx].converged {
+        return None;
+    }
+    let replicates = j.group_replicates(config_idx)?;
+    if rep.converged(replicates.iter().map(Arc::as_ref)) {
+        let g = &mut j.groups[config_idx];
+        g.converged = true;
+        g.saved = rep.seeds.saturating_sub(g.planned);
+        if g.saved > 0 {
+            eprintln!(
+                "malec-serve: job {job} `{}` converged after {}/{} replicates ({} saved)",
+                j.spec.configs[config_idx].label(),
+                g.planned,
+                rep.seeds,
+                g.saved,
+            );
+        }
+        return None;
+    }
+    let replicate = j.groups[config_idx].planned;
+    j.groups[config_idx].planned += 1;
+    j.units.push((config_idx, replicate));
+    j.cells.push(None);
+    Some(WorkUnit {
+        job,
+        cell: j.cells.len() - 1,
+        config: j.spec.configs[config_idx].clone(),
+        scenario: Arc::clone(&j.scenario),
+        insts: j.spec.insts,
+        seed: j.spec.seed,
+        replicate,
+    })
 }
 
 #[cfg(test)]
@@ -498,6 +634,71 @@ mod tests {
         // differ.
         let cells = |r: &str| r[r.find("\"cells\": [").expect("cells")..].to_owned();
         assert_eq!(cells(&ra), cells(&rb));
+        engine.shutdown();
+    }
+
+    #[test]
+    fn resubmission_with_more_seeds_only_simulates_the_new_replicates() {
+        let engine = Engine::new(Some(2), None).expect("engine");
+        let base = "[scenario]\nmode = \"preset\"\npreset = \"store_burst\"\n\
+                    [sweep]\nconfigs = [\"MALEC\"]\ninsts = 2000\nseed = 5\nseeds = ";
+        let four = parse_spec(&format!("{base}4\n")).expect("spec");
+        let eight = parse_spec(&format!("{base}8\n")).expect("spec");
+
+        let first = engine.submit(four);
+        let status = wait_done(&engine, first);
+        assert_eq!(status.cells, 4, "1 config x 4 replicates");
+        assert_eq!(status.simulated, 4);
+
+        let second = engine.submit(eight);
+        let status = wait_done(&engine, second);
+        assert_eq!(status.cells, 8);
+        assert_eq!(
+            status.simulated, 4,
+            "replicates 0-3 are cache hits; only 4-7 simulate"
+        );
+        assert_eq!(status.cached, 4);
+        assert_eq!(engine.cache_stats().entries, 8);
+
+        // The report carries replicate statistics for every cell group.
+        let report = engine.job_report(second).expect("known").expect("done");
+        assert!(report.contains("\"replicates\": 8"), "{report}");
+        assert!(report.contains("\"metrics\""));
+        engine.shutdown();
+    }
+
+    #[test]
+    fn ci_target_stops_spawning_replicates_and_reports_the_savings() {
+        let engine = Engine::new(Some(2), None).expect("engine");
+        // A generous 50% relative CI target converges at min_seeds for any
+        // sane workload, saving the rest of the 16-seed budget.
+        let spec = parse_spec(
+            "[scenario]\nmode = \"preset\"\npreset = \"store_burst\"\n\
+             [sweep]\nconfigs = [\"MALEC\"]\ninsts = 2000\nseed = 5\n\
+             seeds = 16\nmin_seeds = 3\nci_target = 0.5\n",
+        )
+        .expect("spec");
+        let job = engine.submit(spec);
+        let status = wait_done(&engine, job);
+        assert!(
+            status.cells < 16,
+            "early stopping must cut the replicate count, got {}",
+            status.cells
+        );
+        assert!(status.cells >= 3, "never below min_seeds");
+        assert_eq!(
+            status.replicates_saved,
+            16 - status.cells,
+            "savings are reported"
+        );
+        let report = engine.job_report(job).expect("known").expect("done");
+        assert!(
+            report.contains(&format!(
+                "\"replicates_saved\": {}",
+                status.replicates_saved
+            )),
+            "{report}"
+        );
         engine.shutdown();
     }
 

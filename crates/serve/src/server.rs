@@ -230,7 +230,9 @@ fn handle_submit(stream: &mut TcpStream, engine: &Engine, request: &Request) {
     };
     match parse_spec(text) {
         Ok(spec) => {
-            let cells = spec.configs.len();
+            // Cells initially enqueued: configs x launch replicates (a CI
+            // target may grow this later, so it is a floor, not a total).
+            let cells = spec.configs.len() * spec.replication.initial_count() as usize;
             let job = engine.submit(spec);
             let body = format!(
                 "{{\n  \"job\": {job},\n  \"cells\": {cells},\n  \"status_url\": \"/v1/jobs/{job}\"\n}}\n"
@@ -271,7 +273,7 @@ fn handle_job_get(stream: &mut TcpStream, engine: &Engine, path: &str) {
 /// Renders a [`JobStatus`] as the status-endpoint JSON.
 pub fn job_status_json(s: &JobStatus) -> String {
     format!(
-        "{{\n  \"job\": {},\n  \"scenario\": \"{}\",\n  \"state\": \"{}\",\n  \"cells\": {},\n  \"simulated\": {},\n  \"cached\": {},\n  \"coalesced\": {},\n  \"pending\": {},\n  \"wall_seconds\": {}\n}}\n",
+        "{{\n  \"job\": {},\n  \"scenario\": \"{}\",\n  \"state\": \"{}\",\n  \"cells\": {},\n  \"simulated\": {},\n  \"cached\": {},\n  \"coalesced\": {},\n  \"pending\": {},\n  \"replicates_saved\": {},\n  \"wall_seconds\": {}\n}}\n",
         s.id,
         esc(&s.scenario),
         s.state,
@@ -280,6 +282,7 @@ pub fn job_status_json(s: &JobStatus) -> String {
         s.cached,
         s.coalesced,
         s.pending,
+        s.replicates_saved,
         s.wall_seconds
             .map_or_else(|| "null".to_owned(), |w| format!("{w:.4}")),
     )
@@ -393,6 +396,7 @@ mod tests {
             cached: 0,
             coalesced: 0,
             pending: 1,
+            replicates_saved: 0,
             wall_seconds: None,
         };
         let v = parse(&job_status_json(&s)).expect("valid JSON despite control chars");

@@ -8,6 +8,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use malec_core::stats::{CiMetric, Replication};
 use malec_trace::benchmark_named;
 use malec_trace::scenario::{
     preset_named, BankConflictParams, MixPart, Phase, Scenario, SegmentKind, StoreBurstParams,
@@ -21,6 +22,14 @@ use crate::toml::{parse, TomlError, Value};
 pub const DEFAULT_INSTS: u64 = 20_000;
 /// Default seed (the repository-wide reproducibility seed).
 pub const DEFAULT_SEED: u64 = 2013;
+/// Default mandatory replicates before a `ci_target` may stop a cell.
+pub const DEFAULT_MIN_SEEDS: u32 = 3;
+/// Upper bound on `seeds`. Statistically, t-based CIs stop narrowing
+/// meaningfully long before this; operationally, the scheduler eagerly
+/// shards `configs x seeds` work units per submission, so an unbounded
+/// knob would let one tiny POST body demand a multi-gigabyte allocation
+/// (the same one-request kill class as unbounded parser nesting).
+pub const MAX_SEEDS: u32 = 1024;
 
 /// A fully resolved sweep spec.
 #[derive(Clone, Debug)]
@@ -31,8 +40,12 @@ pub struct SweepSpec {
     pub configs: Vec<SimConfig>,
     /// Instructions per cell.
     pub insts: u64,
-    /// Seed for generation and interface randomness.
+    /// Base seed for generation and interface randomness (replicate 0 uses
+    /// it verbatim; replicate `i` derives `replicate_seed(seed, i)`).
     pub seed: u64,
+    /// Multi-seed replication policy (`seeds` / `min_seeds` / `ci_target` /
+    /// `ci_metric` in `[sweep]`; defaults to the legacy single seed).
+    pub replication: Replication,
     /// JSON report path (`<scenario name>_report.json` if unset).
     pub out: String,
     /// Recorded trace path (`<scenario name>.mtr` if unset).
@@ -305,15 +318,28 @@ pub fn parse_spec(input: &str) -> Result<SweepSpec, SpecError> {
     let scenario = parse_scenario(&root)?;
     let configs = parse_configs(&root)?;
     let sweep = root.get("sweep").and_then(Value::as_table);
-    let (insts, seed) = match sweep {
+    let (insts, seed, replication) = match sweep {
         Some(t) => {
-            reject_unknown_keys(t, &["configs", "insts", "seed"], "[sweep]")?;
+            reject_unknown_keys(
+                t,
+                &[
+                    "configs",
+                    "insts",
+                    "seed",
+                    "seeds",
+                    "min_seeds",
+                    "ci_target",
+                    "ci_metric",
+                ],
+                "[sweep]",
+            )?;
             (
                 opt_u64(t, "insts", DEFAULT_INSTS, "[sweep]")?,
                 opt_u64(t, "seed", DEFAULT_SEED, "[sweep]")?,
+                parse_replication(t)?,
             )
         }
-        None => (DEFAULT_INSTS, DEFAULT_SEED),
+        None => (DEFAULT_INSTS, DEFAULT_SEED, Replication::single()),
     };
     if insts == 0 {
         return Err(bad("[sweep]: `insts` must be > 0"));
@@ -337,8 +363,67 @@ pub fn parse_spec(input: &str) -> Result<SweepSpec, SpecError> {
         configs,
         insts,
         seed,
+        replication,
         out,
         mtr,
+    })
+}
+
+/// Parses and validates the `[sweep]` replication knobs.
+fn parse_replication(t: &Table) -> Result<Replication, SpecError> {
+    let seeds = opt_u32(t, "seeds", 1, "[sweep]")?;
+    if seeds == 0 {
+        return Err(bad(
+            "[sweep]: `seeds` must be >= 1 (a cell needs at least one replicate)",
+        ));
+    }
+    if seeds > MAX_SEEDS {
+        return Err(bad(format!("[sweep]: `seeds` must be at most {MAX_SEEDS}")));
+    }
+    let ci_target = match t.get("ci_target") {
+        None => None,
+        Some(v) => {
+            let f = v
+                .as_float()
+                .filter(|f| f.is_finite() && *f > 0.0)
+                .ok_or_else(|| bad("[sweep]: `ci_target` must be a finite number > 0"))?;
+            Some(f)
+        }
+    };
+    if ci_target.is_some() && seeds < 2 {
+        return Err(bad(
+            "[sweep]: `ci_target` needs `seeds` >= 2 (one replicate has no interval)",
+        ));
+    }
+    let min_seeds = opt_u32(t, "min_seeds", DEFAULT_MIN_SEEDS.min(seeds), "[sweep]")?;
+    if ci_target.is_some() && min_seeds < 2 {
+        return Err(bad(
+            "[sweep]: `min_seeds` must be >= 2 with a `ci_target` (a CI needs two replicates)",
+        ));
+    }
+    if min_seeds == 0 || min_seeds > seeds {
+        return Err(bad(format!(
+            "[sweep]: `min_seeds` must be in 1..=seeds (= {seeds})"
+        )));
+    }
+    let metric = match t.get("ci_metric") {
+        None => CiMetric::default(),
+        Some(v) => {
+            let name = v
+                .as_str()
+                .ok_or_else(|| bad("[sweep]: `ci_metric` must be a string"))?;
+            CiMetric::parse(name).ok_or_else(|| {
+                bad(format!(
+                    "[sweep]: unknown ci_metric `{name}` (expected ipc | energy_per_access)"
+                ))
+            })?
+        }
+    };
+    Ok(Replication {
+        seeds,
+        min_seeds,
+        ci_target,
+        metric,
     })
 }
 
@@ -411,6 +496,35 @@ mtr = "demo.mtr"
     }
 
     #[test]
+    fn parses_replication_knobs_with_defaults() {
+        // No knobs: the legacy single-seed behavior.
+        let spec = parse_spec(MIXED).expect("parses");
+        assert_eq!(spec.replication, Replication::single());
+
+        // Fixed replication: min_seeds defaults to min(3, seeds).
+        let doc = "[scenario]\nmode = \"preset\"\npreset = \"store_burst\"\n[sweep]\nseeds = 8\n";
+        let spec = parse_spec(doc).expect("parses");
+        assert_eq!(spec.replication.seeds, 8);
+        assert_eq!(spec.replication.min_seeds, 3);
+        assert_eq!(spec.replication.ci_target, None);
+        assert_eq!(spec.replication.initial_count(), 8, "no target: run all");
+
+        // CI-driven early stopping.
+        let doc = "[scenario]\nmode = \"preset\"\npreset = \"store_burst\"\n\
+                   [sweep]\nseeds = 16\nmin_seeds = 4\nci_target = 0.02\nci_metric = \"energy_per_access\"\n";
+        let spec = parse_spec(doc).expect("parses");
+        assert_eq!(spec.replication.seeds, 16);
+        assert_eq!(spec.replication.min_seeds, 4);
+        assert_eq!(spec.replication.ci_target, Some(0.02));
+        assert_eq!(spec.replication.metric, CiMetric::EnergyPerAccess);
+        assert_eq!(spec.replication.initial_count(), 4, "target: start minimal");
+
+        // seeds = 2 clamps the default minimum to the cap.
+        let doc = "[scenario]\nmode = \"preset\"\npreset = \"store_burst\"\n[sweep]\nseeds = 2\n";
+        assert_eq!(parse_spec(doc).expect("parses").replication.min_seeds, 2);
+    }
+
+    #[test]
     fn parses_a_preset_spec() {
         let spec = parse_spec("[scenario]\nmode = \"preset\"\npreset = \"store_burst\"\n")
             .expect("parses");
@@ -453,9 +567,42 @@ mtr = "demo.mtr"
                 "[scenario]\nname = \"a\"\ninsts = 500000\n[[scenario.phase]]\nkind = \"tlb_thrash\"\ninsts = 5\n",
                 "unknown key `insts`",
             ),
+            // Replication knobs validate hard: zero seeds, a minimum above
+            // the cap, an interval target without replicates, an unknown
+            // metric — each is a loud error, never a silent clamp.
             (
-                "[scenario]\nname = \"a\"\n[[scenario.phase]]\nkind = \"tlb_thrash\"\ninsts = 5\n[sweep]\nseeds = 7\n",
-                "unknown key `seeds`",
+                "[scenario]\nname = \"a\"\n[[scenario.phase]]\nkind = \"tlb_thrash\"\ninsts = 5\n[sweep]\nseeds = 0\n",
+                "`seeds` must be >= 1",
+            ),
+            // Unbounded seeds would let one tiny request demand a
+            // configs x seeds work-unit allocation in malec-serve.
+            (
+                "[scenario]\nname = \"a\"\n[[scenario.phase]]\nkind = \"tlb_thrash\"\ninsts = 5\n[sweep]\nseeds = 4294967295\n",
+                "`seeds` must be at most 1024",
+            ),
+            (
+                "[scenario]\nname = \"a\"\n[[scenario.phase]]\nkind = \"tlb_thrash\"\ninsts = 5\n[sweep]\nseeds = 4\nmin_seeds = 9\n",
+                "`min_seeds` must be in 1..=seeds",
+            ),
+            (
+                "[scenario]\nname = \"a\"\n[[scenario.phase]]\nkind = \"tlb_thrash\"\ninsts = 5\n[sweep]\nci_target = 0.05\n",
+                "`ci_target` needs `seeds` >= 2",
+            ),
+            (
+                "[scenario]\nname = \"a\"\n[[scenario.phase]]\nkind = \"tlb_thrash\"\ninsts = 5\n[sweep]\nseeds = 8\nci_target = 0.0\n",
+                "`ci_target` must be a finite number > 0",
+            ),
+            (
+                "[scenario]\nname = \"a\"\n[[scenario.phase]]\nkind = \"tlb_thrash\"\ninsts = 5\n[sweep]\nseeds = 8\nci_target = 0.05\nmin_seeds = 1\n",
+                "`min_seeds` must be >= 2 with a `ci_target`",
+            ),
+            (
+                "[scenario]\nname = \"a\"\n[[scenario.phase]]\nkind = \"tlb_thrash\"\ninsts = 5\n[sweep]\nseeds = 8\nci_metric = \"cycles\"\n",
+                "unknown ci_metric",
+            ),
+            (
+                "[scenario]\nname = \"a\"\n[[scenario.phase]]\nkind = \"tlb_thrash\"\ninsts = 5\n[sweep]\nseedz = 7\n",
+                "unknown key `seedz`",
             ),
             (
                 "[scenario]\nname = \"a\"\n[[scenario.phase]]\nkind = \"store_burst\"\nburts = 9\ninsts = 5\n",

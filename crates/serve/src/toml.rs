@@ -175,6 +175,13 @@ fn is_bare_key(key: &str) -> bool {
             .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
 }
 
+/// Maximum dotted-path depth of a table header. The spec language uses at
+/// most two levels (`[[scenario.phase]]`); the bound exists because every
+/// path segment nests one `Value::Table`, whose destructor recurses — a
+/// `[a.a.a…]` header thousands of segments deep would build a value that
+/// overflows the stack when dropped.
+const MAX_TABLE_DEPTH: usize = 16;
+
 fn parse_key_path(path: &str, lineno: usize) -> Result<Vec<String>, TomlError> {
     let parts: Vec<String> = path
         .trim()
@@ -183,6 +190,12 @@ fn parse_key_path(path: &str, lineno: usize) -> Result<Vec<String>, TomlError> {
         .collect();
     if parts.iter().any(|p| !is_bare_key(p)) {
         return Err(err(lineno, format!("unsupported table path `{path}`")));
+    }
+    if parts.len() > MAX_TABLE_DEPTH {
+        return Err(err(
+            lineno,
+            format!("table path deeper than {MAX_TABLE_DEPTH} levels"),
+        ));
     }
     Ok(parts)
 }
@@ -272,11 +285,14 @@ fn parse_value(text: &str, lineno: usize) -> Result<Value, TomlError> {
             if piece.is_empty() {
                 continue;
             }
-            let item = parse_value(piece, lineno)?;
-            if matches!(item, Value::Array(_) | Value::Table(_)) {
+            // Reject nesting *before* recursing: parse_value calls itself
+            // once per `[`, so a `[[[[…` value thousands of brackets deep
+            // would otherwise exhaust the stack before the rejection on the
+            // way back out could fire.
+            if piece.starts_with('[') {
                 return Err(err(lineno, "nested arrays are not supported"));
             }
-            items.push(item);
+            items.push(parse_value(piece, lineno)?);
         }
         return Ok(Value::Array(items));
     }
@@ -440,6 +456,33 @@ seed = 2013
         let b = root["a"].as_table().unwrap()["b"].as_array().unwrap();
         assert_eq!(b.len(), 2);
         assert_eq!(b[1].as_table().unwrap()["x"].as_int(), Some(2));
+    }
+
+    #[test]
+    fn deep_inline_array_nesting_is_an_error_not_a_stack_overflow() {
+        // parse_value recurses once per `[`; the nesting rejection must
+        // fire before the recursive call, or 200k brackets kill the
+        // process with SIGABRT instead of returning an error.
+        let doc = format!("x = {}1{}\n", "[".repeat(200_000), "]".repeat(200_000));
+        let e = parse(&doc).unwrap_err();
+        assert!(e.message.contains("nested arrays"), "{e}");
+        // Flat arrays (and the rejection of one-level nesting) still work.
+        assert!(parse("x = [1, 2, 3]\n").is_ok());
+        assert!(parse("x = [[1], 2]\n").is_err());
+    }
+
+    #[test]
+    fn pathological_table_depth_is_an_error_not_a_stack_overflow() {
+        // Each path segment nests one table; dropping a 10k-deep value
+        // recurses 10k frames. The depth bound turns that into a clean
+        // error (found by the parser-hardening proptest suite).
+        let deep = (0..10_000).map(|_| "a").collect::<Vec<_>>().join(".");
+        let e = parse(&format!("[{deep}]\nx = 1\n")).unwrap_err();
+        assert!(e.message.contains("deeper than"), "{e}");
+        let e = parse(&format!("[[{deep}]]\nx = 1\n")).unwrap_err();
+        assert!(e.message.contains("deeper than"), "{e}");
+        // The bound leaves real specs untouched.
+        assert!(parse("[a.b.c.d]\nx = 1\n").is_ok());
     }
 
     #[test]

@@ -23,6 +23,8 @@
 //!   ([`Scenario`]);
 //! * [`record`] — the `.mtr` binary trace format with streaming
 //!   record/replay ([`TraceWriter`], [`TraceReader`]);
+//! * [`seed`] — SplitMix64 replicate-seed derivation for multi-seed
+//!   replication ([`replicate_seed`]);
 //! * [`stats`] — Fig. 1 statistics (consecutive same-page access runs with
 //!   allowed intermediates) and same-line adjacency.
 //!
@@ -47,6 +49,7 @@ pub mod inst;
 pub mod profile;
 pub mod record;
 pub mod scenario;
+pub mod seed;
 pub mod stats;
 
 pub use generate::WorkloadGenerator;
@@ -54,4 +57,5 @@ pub use inst::{DepDistance, TraceInst};
 pub use profile::{all_benchmarks, benchmark_named, benchmarks_of, BenchmarkProfile, Suite};
 pub use record::{read_trace, write_trace, TraceReader, TraceWriter, MTR_EXTENSION};
 pub use scenario::{Composition, MixPart, Phase, Scenario, ScenarioGenerator, SegmentKind};
+pub use seed::{replicate_seed, splitmix64};
 pub use stats::{page_locality_ratios, run_length_buckets, same_line_adjacency, RunLengthBuckets};

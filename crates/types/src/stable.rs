@@ -130,6 +130,40 @@ pub fn stable_key<T: StableKey + ?Sized>(value: &T) -> u128 {
     h.finish()
 }
 
+// Primitive encodings, so composite keys (e.g. a cache key folding a
+// replicate index next to a config) can fold scalars uniformly. Each
+// integer width has a distinct byte length, and strings are
+// length-prefixed, so adjacent fields cannot shift bytes between them.
+impl StableKey for u8 {
+    fn fold(&self, h: &mut StableHasher) {
+        h.write_u8(*self);
+    }
+}
+
+impl StableKey for u32 {
+    fn fold(&self, h: &mut StableHasher) {
+        h.write_u32(*self);
+    }
+}
+
+impl StableKey for u64 {
+    fn fold(&self, h: &mut StableHasher) {
+        h.write_u64(*self);
+    }
+}
+
+impl StableKey for bool {
+    fn fold(&self, h: &mut StableHasher) {
+        h.write_bool(*self);
+    }
+}
+
+impl StableKey for str {
+    fn fold(&self, h: &mut StableHasher) {
+        h.write_str(self);
+    }
+}
+
 impl StableKey for InterfaceKind {
     fn fold(&self, h: &mut StableHasher) {
         h.write_u8(match self {
@@ -270,6 +304,21 @@ mod tests {
         cfg.way_determination = WayDetermination::Wdu(16);
         assert_ne!(stable_key(&cfg), base);
         assert_ne!(stable_key(&SimConfig::malec_wide()), base);
+    }
+
+    #[test]
+    fn primitive_keys_are_width_distinct() {
+        // u32 and u64 of the same numeric value must key differently (their
+        // byte encodings differ in length), so a composite key cannot be
+        // forged by retyping a field.
+        assert_ne!(stable_key(&7u32), stable_key(&7u64));
+        assert_eq!(
+            stable_key(&0u8),
+            stable_key(&false),
+            "same one-byte encoding"
+        );
+        assert_eq!(stable_key("ab"), stable_key("ab"));
+        assert_ne!(stable_key("ab"), stable_key("ba"));
     }
 
     #[test]
