@@ -23,9 +23,11 @@
 use std::time::Instant;
 
 use malec_bench::goldens::{
-    digest, run_scenario_cells_with, BENCH_BENCHMARKS, GOLDEN_DIGESTS, SCENARIO_GOLDEN_DIGESTS,
+    compare_digest, digest, run_compare_cells_with, run_scenario_cells_with, BENCH_BENCHMARKS,
+    COMPARE_GOLDEN_DIGESTS, GOLDEN_DIGESTS, SCENARIO_GOLDEN_DIGESTS,
 };
 use malec_bench::{run_matrix_on_with, run_matrix_serial_on, DEFAULT_INSTS};
+use malec_core::compare::CompareStats;
 use malec_core::parallel::workers_for;
 use malec_core::RunSummary;
 use malec_trace::all_benchmarks;
@@ -121,6 +123,31 @@ fn record_scenario_goldens(cells: &[RunSummary]) {
             cell.config,
             digest(cell)
         );
+    }
+    println!("];");
+}
+
+fn check_compare_goldens(cells: &[(String, CompareStats)]) {
+    assert_eq!(
+        COMPARE_GOLDEN_DIGESTS.len(),
+        cells.len(),
+        "compare golden table must cover every preset (re-record with --record)"
+    );
+    for ((scenario, stats), &(want_s, want)) in cells.iter().zip(COMPARE_GOLDEN_DIGESTS) {
+        assert_eq!(scenario, want_s, "compare cell order drifted");
+        let got = compare_digest(stats);
+        assert_eq!(
+            got, want,
+            "{scenario}: paired Base1ldst-vs-MALEC deltas diverged from the recorded golden \
+             (digest {got:#018x} != {want:#018x})"
+        );
+    }
+}
+
+fn record_compare_goldens(cells: &[(String, CompareStats)]) {
+    println!("pub const COMPARE_GOLDEN_DIGESTS: &[(&str, u64)] = &[");
+    for (scenario, stats) in cells {
+        println!("    (\"{}\", {:#018x}),", scenario, compare_digest(stats));
     }
     println!("];");
 }
@@ -251,17 +278,30 @@ fn main() {
         malec_bench::goldens::SCENARIO_INSTS
     );
 
+    let t = Instant::now();
+    let compare_cells = run_compare_cells_with(jobs);
+    let compare_s = t.elapsed().as_secs_f64();
+    eprintln!(
+        "  compares: {compare_s:.3}s  ({} paired presets, {} shared seeds at {} insts)",
+        compare_cells.len(),
+        malec_bench::goldens::COMPARE_SEEDS,
+        malec_bench::goldens::COMPARE_INSTS
+    );
+
     let golden_status = if record {
         record_goldens(&serial);
         record_scenario_goldens(&scenario_cells);
+        record_compare_goldens(&compare_cells);
         "recorded"
     } else {
         check_goldens(&serial);
         check_scenario_goldens(&scenario_cells);
+        check_compare_goldens(&compare_cells);
         eprintln!(
-            "  goldens:  ok ({} benchmark + {} scenario digests)",
+            "  goldens:  ok ({} benchmark + {} scenario + {} compare digests)",
             GOLDEN_DIGESTS.len(),
-            SCENARIO_GOLDEN_DIGESTS.len()
+            SCENARIO_GOLDEN_DIGESTS.len(),
+            COMPARE_GOLDEN_DIGESTS.len()
         );
         "ok"
     };

@@ -17,7 +17,9 @@
 //!
 //! and replace the [`GOLDEN_DIGESTS`] table with the printed one.
 
+use malec_core::compare::{Alpha, CompareStats};
 use malec_core::parallel::{parallel_map_with, workers_for};
+use malec_core::stats::replicate_seed;
 use malec_core::{RunSummary, ScenarioSource, Simulator};
 use malec_trace::scenario::presets;
 use malec_trace::Scenario;
@@ -81,6 +83,63 @@ pub fn run_scenario_cells_with(jobs: Option<usize>) -> Vec<RunSummary> {
 /// working for benches and external callers.
 pub use malec_core::digest::digest;
 
+/// Re-export of the comparison digest checked against
+/// [`COMPARE_GOLDEN_DIGESTS`].
+pub use malec_core::compare::compare_digest;
+
+/// Instructions per side per shared seed of a compare golden cell (smaller
+/// than [`SCENARIO_INSTS`] because each preset runs `2 × COMPARE_SEEDS`
+/// simulations instead of 2).
+pub const COMPARE_INSTS: u64 = 20_000;
+
+/// Shared seeds per compare golden cell.
+pub const COMPARE_SEEDS: u32 = 3;
+
+/// The compare golden workload: every preset scenario paired as
+/// `Base1ldst` (baseline) vs `MALEC` (candidate) over [`COMPARE_SEEDS`]
+/// shared seeds at [`COMPARE_INSTS`] instructions, the fixed
+/// [`crate::DEFAULT_SEED`], and `alpha = 0.05`. Returns `(preset name,
+/// comparison)` in preset order.
+pub fn run_compare_cells_with(jobs: Option<usize>) -> Vec<(String, CompareStats)> {
+    let scenarios = presets();
+    // One flat fan-out over (preset, side, replicate); the pairing is
+    // reassembled below, so the schedule never touches the statistics.
+    let cells: Vec<(usize, SimConfig, u32)> = (0..scenarios.len())
+        .flat_map(|s| {
+            scenario_configs()
+                .into_iter()
+                .flat_map(move |cfg| (0..COMPARE_SEEDS).map(move |r| (s, cfg.clone(), r)))
+        })
+        .collect();
+    let workers = workers_for(cells.len(), jobs);
+    let summaries = parallel_map_with(
+        cells.clone(),
+        |(s, cfg, r)| {
+            Simulator::new(cfg.clone())
+                .run_source(
+                    &ScenarioSource::Scenario(scenarios[*s].clone()),
+                    COMPARE_INSTS,
+                    replicate_seed(crate::DEFAULT_SEED, *r),
+                )
+                .expect("generator sources cannot fail")
+        },
+        workers,
+    );
+    let per_preset = 2 * COMPARE_SEEDS as usize;
+    scenarios
+        .iter()
+        .enumerate()
+        .map(|(s, scenario)| {
+            let chunk = &summaries[s * per_preset..(s + 1) * per_preset];
+            let (base, cand) = chunk.split_at(COMPARE_SEEDS as usize);
+            (
+                scenario.name.clone(),
+                CompareStats::from_pairs(base, cand, COMPARE_SEEDS, Alpha::Five),
+            )
+        })
+        .collect()
+}
+
 /// `(benchmark, config label, digest)` per cell of the fixed workload,
 /// row-major in `(BENCH_BENCHMARKS, Table I configs)` order. Recorded at
 /// `DEFAULT_INSTS` instructions, `DEFAULT_SEED` seed.
@@ -126,6 +185,21 @@ pub const SCENARIO_GOLDEN_DIGESTS: &[(&str, &str, u64)] = &[
     ("bank_conflict", "MALEC", 0xde7d83402b15d581),
     ("store_burst", "Base1ldst", 0xd9acc25a6b874b0b),
     ("store_burst", "MALEC", 0xce455fc869e46c0e),
+];
+
+/// `(preset scenario, compare digest)` per compare golden cell
+/// ([`run_compare_cells_with`] order): the paired Base1ldst-vs-MALEC delta
+/// blocks of each preset, digested bit-exactly ([`compare_digest`] folds
+/// every delta mean, CI width, relative improvement and verdict). Recorded
+/// at [`COMPARE_INSTS`] / [`COMPARE_SEEDS`] / [`crate::DEFAULT_SEED`] /
+/// `alpha = 0.05`; refresh with `malec-bench -- --record` after an
+/// intentional behavior change.
+pub const COMPARE_GOLDEN_DIGESTS: &[(&str, u64)] = &[
+    ("phased_compress_decode", 0x0e5f18eb758778e4),
+    ("mixed_int_media_thrash", 0xf123fcd9e392037d),
+    ("tlb_thrash", 0xe1fc7e3d540e8ab4),
+    ("bank_conflict", 0xd065b86b38d331a0),
+    ("store_burst", 0x61e638b640a28e23),
 ];
 
 #[cfg(test)]
@@ -185,6 +259,51 @@ mod tests {
             digest(&out[0].replicates[1]),
             golden,
             "replicate 1 runs a genuinely different seed"
+        );
+    }
+
+    #[test]
+    fn compare_golden_table_covers_every_preset_and_one_cell_reproduces() {
+        use malec_trace::scenario::presets;
+        let names: Vec<String> = presets().into_iter().map(|s| s.name).collect();
+        assert_eq!(COMPARE_GOLDEN_DIGESTS.len(), names.len());
+        for (&(scenario, digest), want) in COMPARE_GOLDEN_DIGESTS.iter().zip(&names) {
+            assert_eq!(scenario, want);
+            assert_ne!(
+                digest, 0,
+                "{scenario}: placeholder digest left in the table"
+            );
+        }
+        // One cell recomputed from scratch (debug builds must digest
+        // identically to the release recording — float determinism).
+        let scenario = presets()
+            .into_iter()
+            .find(|s| s.name == "store_burst")
+            .expect("preset exists");
+        let run = |cfg: SimConfig, r: u32| {
+            Simulator::new(cfg)
+                .run_source(
+                    &ScenarioSource::Scenario(scenario.clone()),
+                    COMPARE_INSTS,
+                    replicate_seed(DEFAULT_SEED, r),
+                )
+                .expect("generator sources cannot fail")
+        };
+        let base: Vec<RunSummary> = (0..COMPARE_SEEDS)
+            .map(|r| run(SimConfig::base1ldst(), r))
+            .collect();
+        let cand: Vec<RunSummary> = (0..COMPARE_SEEDS)
+            .map(|r| run(SimConfig::malec(), r))
+            .collect();
+        let stats = CompareStats::from_pairs(&base, &cand, COMPARE_SEEDS, Alpha::Five);
+        let &(_, golden) = COMPARE_GOLDEN_DIGESTS
+            .iter()
+            .find(|&&(s, _)| s == "store_burst")
+            .expect("golden cell exists");
+        assert_eq!(
+            compare_digest(&stats),
+            golden,
+            "store_burst: paired deltas must reproduce the recorded compare golden"
         );
     }
 

@@ -8,9 +8,12 @@
 //!
 //! * [`run`] — the local record → sweep → replay-verify pipeline behind
 //!   `malec-cli run`;
+//! * [`compare`] — the paired-seed comparison pipeline behind `malec-cli
+//!   compare` (shared-seed deltas, paired CIs, win/loss/tie verdicts);
 //! * the binary's `serve` / `submit` / `status` subcommands, thin wrappers
 //!   over [`malec_serve::server`] and [`malec_serve::client`].
 
+pub mod compare;
 pub mod run;
 
 pub use malec_serve::report;

@@ -4,6 +4,9 @@
 //!
 //! ```text
 //! malec-cli run <spec.toml> [--jobs N]      record + sweep + replay-verify + report
+//! malec-cli compare <spec.toml> [--jobs N] [--addr A] [-o OUT]
+//!                                           paired MALEC-vs-baseline deltas
+//!                                           (local, or via a server with --addr)
 //! malec-cli record <spec.toml> [-o F.mtr]   record the scenario stream only
 //! malec-cli replay <F.mtr> [--config L] [--insts N] [--seed N]
 //! malec-cli presets                         list the built-in scenarios
@@ -23,6 +26,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Duration;
 
+use malec_cli::compare::{compare_parsed_spec, delta_line};
 use malec_cli::run::{record_trace, run_spec_file};
 use malec_core::digest::digest;
 use malec_core::{ScenarioSource, Simulator};
@@ -33,7 +37,7 @@ use malec_trace::scenario::presets;
 use malec_types::SimConfig;
 
 fn usage() -> String {
-    "usage:\n  malec-cli run <spec.toml> [--jobs N]\n  malec-cli record <spec.toml> [-o out.mtr]\n  malec-cli replay <trace.mtr> [--config LABEL] [--insts N] [--seed N] [--name NAME]\n  malec-cli presets\n  malec-cli serve [--addr HOST:PORT] [--cache FILE] [--jobs N]\n  malec-cli submit <spec.toml> [--addr HOST:PORT] [-o report.json] [--no-wait]\n  malec-cli status [JOB] [--addr HOST:PORT]\n\nThe replay digest folds the workload name; pass --name <scenario name>\n(the [scenario] name the trace was recorded under) to make it comparable\nwith the digests in a `run` report.\n\n`serve` hosts the batch service (default address 127.0.0.1:4173); `submit`\nand `status` talk to it. --cache persists the result cache across\nrestarts; --jobs caps worker fan-out everywhere it appears."
+    "usage:\n  malec-cli run <spec.toml> [--jobs N]\n  malec-cli compare <spec.toml> [--jobs N] [--addr HOST:PORT] [-o report.json]\n  malec-cli record <spec.toml> [-o out.mtr]\n  malec-cli replay <trace.mtr> [--config LABEL] [--insts N] [--seed N] [--name NAME]\n  malec-cli presets\n  malec-cli serve [--addr HOST:PORT] [--cache FILE] [--jobs N]\n  malec-cli submit <spec.toml> [--addr HOST:PORT] [-o report.json] [--no-wait]\n  malec-cli status [JOB] [--addr HOST:PORT]\n\nThe replay digest folds the workload name; pass --name <scenario name>\n(the [scenario] name the trace was recorded under) to make it comparable\nwith the digests in a `run` report.\n\n`compare` pairs the spec's [compare] interfaces per shared replicate seed\nand reports deltas (mean ± paired CI, relative %, win/loss/tie at the\nspec's alpha); with --addr the spec is submitted to a server and the\ndeltas are assembled from its result cache instead of simulating locally.\n\n`serve` hosts the batch service (default address 127.0.0.1:4173); `submit`\nand `status` talk to it. --cache persists the result cache across\nrestarts; --jobs caps worker fan-out everywhere it appears."
         .to_owned()
 }
 
@@ -51,6 +55,7 @@ fn main() -> ExitCode {
 fn dispatch(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..]),
         Some("record") => cmd_record(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
@@ -153,6 +158,100 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     } else {
         Err("replayed .mtr run diverged from the generator run".to_owned())
     }
+}
+
+fn cmd_compare(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let jobs: Option<usize> = take_flag(&mut args, "--jobs")?;
+    let addr: Option<String> = take_flag(&mut args, "--addr")?;
+    let out: Option<String> = take_flag(&mut args, "-o")?;
+    let [spec_path] = args.as_slice() else {
+        return Err(usage());
+    };
+    if let Some(addr) = addr {
+        return cmd_compare_remote(spec_path, &addr, out);
+    }
+    let text = std::fs::read_to_string(spec_path).map_err(|e| format!("read {spec_path}: {e}"))?;
+    let mut spec = parse_spec(&text).map_err(|e| format!("{spec_path}: {e}"))?;
+    if let Some(o) = out {
+        // -o overrides the spec's report path outright — one output file,
+        // not a stray copy at the default location.
+        spec.compare_out = o;
+    }
+    let outcome = compare_parsed_spec(spec, spec_path, Path::new("."), jobs)?;
+    let stats = &outcome.stats;
+    let (wins, losses, ties) = stats.tally();
+    println!(
+        "compare {} ({}): {} vs {} — alpha {}, {}/{} shared seed(s){}, {} worker(s), {:.3}s",
+        outcome.spec.scenario.name,
+        outcome.spec.scenario.segment_labels().join(" + "),
+        stats.candidate,
+        stats.baseline,
+        stats.alpha.value(),
+        stats.n,
+        outcome.spec.replication.seeds,
+        if stats.saved > 0 {
+            format!(" (early stop saved {})", stats.saved)
+        } else {
+            String::new()
+        },
+        outcome.workers,
+        outcome.wall_seconds,
+    );
+    for (name, d) in &stats.metrics {
+        println!("{}", delta_line(name, d));
+    }
+    println!("  verdicts: {wins} win(s), {losses} loss(es), {ties} tie(s)");
+    println!("  report -> {}", outcome.out_path.display());
+    Ok(())
+}
+
+/// `compare --addr`: submit the spec to a server and assemble the deltas
+/// from its cache-keyed per-replicate cells (a resubmitted spec compares
+/// without simulating a single cell).
+fn cmd_compare_remote(spec_path: &str, addr: &str, out: Option<String>) -> Result<(), String> {
+    let text = std::fs::read_to_string(spec_path).map_err(|e| format!("read {spec_path}: {e}"))?;
+    // Parse + resolve locally first: a bad pairing should fail with the
+    // parser's message before any network round trip.
+    let spec = parse_spec(&text).map_err(|e| format!("{spec_path}: {e}"))?;
+    spec.resolve_compare().map_err(|e| e.to_string())?;
+
+    let client = Client::new(addr.to_owned());
+    let job = client.submit(&text)?;
+    println!(
+        "submitted `{}` to {addr}: job {job} ({} vs {})",
+        spec.scenario.name,
+        spec.compare
+            .as_ref()
+            .map_or_else(|| "MALEC".to_owned(), |c| c.candidate.label()),
+        spec.compare
+            .as_ref()
+            .map_or_else(|| "Base1ldst".to_owned(), |c| c.baseline.label()),
+    );
+    let view = client.wait(job, Duration::from_secs(600))?;
+    let report = client.compare(job)?;
+    let out_path = out.unwrap_or_else(|| spec.compare_out.clone());
+    if let Some(parent) = Path::new(&out_path)
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+    {
+        std::fs::create_dir_all(parent).map_err(|e| format!("create {}: {e}", parent.display()))?;
+    }
+    std::fs::write(&out_path, &report).map_err(|e| format!("write {out_path}: {e}"))?;
+    println!(
+        "job {job} done in {:.3}s: {} simulated, {} cached, {} coalesced",
+        view.wall_seconds.unwrap_or(0.0),
+        view.simulated,
+        view.cached,
+        view.coalesced,
+    );
+    println!(
+        "  cache: {}/{} cells served from cache",
+        view.served_without_simulation(),
+        view.cells
+    );
+    println!("  compare report -> {out_path}");
+    Ok(())
 }
 
 fn cmd_record(args: &[String]) -> Result<(), String> {

@@ -39,6 +39,7 @@
 //! [`ArbitrationUnit`]: malec::MalecInterface
 
 pub mod baseline;
+pub mod compare;
 pub mod digest;
 pub mod input_buffer;
 pub mod malec;
@@ -57,6 +58,7 @@ pub mod waytable;
 pub mod wdu;
 
 pub use baseline::BaselineInterface;
+pub use compare::{Alpha, CompareStats, DeltaSummary, PairedSample, Verdict};
 pub use digest::{digest, read_summary, summary_to_bytes, write_summary};
 pub use malec::MalecInterface;
 pub use metrics::{InterfaceStats, RunSummary};

@@ -49,6 +49,30 @@ pub fn t95(df: u64) -> f64 {
     }
 }
 
+/// Why a statistic cannot be produced from the samples seen so far.
+/// Small-sample queries return this instead of `NaN` (or a silently wrong
+/// sentinel), so every caller decides explicitly what an undefined interval
+/// or extremum means for it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StatError {
+    /// No observations at all: min/max/mean carry no information.
+    Empty,
+    /// Exactly one observation: extrema and means exist, but anything
+    /// involving spread (variance, CIs) is undefined.
+    OneSample,
+}
+
+impl std::fmt::Display for StatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StatError::Empty => f.write_str("no samples (need at least 1)"),
+            StatError::OneSample => f.write_str("one sample carries no spread (need at least 2)"),
+        }
+    }
+}
+
+impl std::error::Error for StatError {}
+
 /// Streaming mean/variance/min/max over one metric, one value per
 /// replicate (Welford's online algorithm).
 #[derive(Clone, Copy, Debug, Default)]
@@ -136,6 +160,49 @@ impl Welford {
         let hw = self.ci95_half_width()?;
         let m = self.mean.abs();
         (m > f64::EPSILON).then(|| hw / m)
+    }
+
+    /// Which [`StatError`] the current sample count implies for a
+    /// statistic needing `need` observations (1 for extrema, 2 for spread).
+    fn short_of(&self, need: u64) -> StatError {
+        debug_assert!(self.n < need);
+        if self.n == 0 {
+            StatError::Empty
+        } else {
+            StatError::OneSample
+        }
+    }
+
+    /// [`Self::min`] with the failure mode spelled out: `Err(Empty)` for an
+    /// empty accumulator, never `NaN`.
+    ///
+    /// # Errors
+    ///
+    /// [`StatError::Empty`] with no observations.
+    pub fn try_min(&self) -> Result<f64, StatError> {
+        self.min().ok_or(StatError::Empty)
+    }
+
+    /// [`Self::max`] with the failure mode spelled out: `Err(Empty)` for an
+    /// empty accumulator, never `NaN`.
+    ///
+    /// # Errors
+    ///
+    /// [`StatError::Empty`] with no observations.
+    pub fn try_max(&self) -> Result<f64, StatError> {
+        self.max().ok_or(StatError::Empty)
+    }
+
+    /// [`Self::ci95_half_width`] with the failure mode spelled out:
+    /// `Err(Empty)` for zero samples, `Err(OneSample)` for one (a single
+    /// draw has no interval), never `NaN` and never an infinite width.
+    ///
+    /// # Errors
+    ///
+    /// [`StatError::Empty`] / [`StatError::OneSample`] below two
+    /// observations.
+    pub fn try_ci95(&self) -> Result<f64, StatError> {
+        self.ci95_half_width().ok_or_else(|| self.short_of(2))
     }
 }
 
@@ -300,6 +367,33 @@ pub const REPORTED_METRICS: [&str; 8] = [
     "energy_per_access",
 ];
 
+/// One extractor per [`REPORTED_METRICS`] entry, in the same order — the
+/// single definition both the marginal aggregation
+/// ([`ReplicateStats::from_replicates`]) and the paired comparison
+/// (`malec_core::compare`) fold replicates through, so a delta is always
+/// the difference of exactly the numbers the marginal report shows.
+#[must_use]
+pub fn reported_extractors() -> [fn(&RunSummary) -> f64; 8] {
+    [
+        |s| s.core.ipc(),
+        |s| s.core.cycles as f64,
+        |s| s.l1_miss_rate,
+        |s| s.utlb_miss_rate,
+        |s| s.interface.coverage(),
+        |s| s.interface.merge_ratio(),
+        |s| s.energy.total(),
+        energy_per_access,
+    ]
+}
+
+/// Whether larger values of a reported metric are better (IPC, coverage,
+/// merge ratio) or worse (cycles, miss rates, energy) — the orientation a
+/// win/loss verdict on a delta needs.
+#[must_use]
+pub fn higher_is_better(metric: &str) -> bool {
+    matches!(metric, "ipc" | "coverage" | "merge_ratio")
+}
+
 /// Per-metric replicate statistics of one cell, plus the replication
 /// bookkeeping (how many seeds ran, how many an early stop saved).
 #[derive(Clone, Debug)]
@@ -325,16 +419,7 @@ impl ReplicateStats {
     #[must_use]
     pub fn from_replicates(replicates: &[RunSummary], seeds: u32) -> Self {
         assert!(!replicates.is_empty(), "a cell has at least one replicate");
-        let extract: [fn(&RunSummary) -> f64; 8] = [
-            |s| s.core.ipc(),
-            |s| s.core.cycles as f64,
-            |s| s.l1_miss_rate,
-            |s| s.utlb_miss_rate,
-            |s| s.interface.coverage(),
-            |s| s.interface.merge_ratio(),
-            |s| s.energy.total(),
-            energy_per_access,
-        ];
+        let extract = reported_extractors();
         let mut accs = [Welford::new(); 8];
         for s in replicates {
             for (acc, f) in accs.iter_mut().zip(&extract) {
@@ -475,6 +560,45 @@ mod tests {
         assert!(w.ci95_half_width().is_none());
         assert!(w.relative_ci95().is_none());
         assert_eq!(w.mean(), 3.5);
+    }
+
+    /// Pins the small-sample contract: n = 0 and n = 1 queries are
+    /// well-defined *errors* — never `NaN`, never an infinite or sentinel
+    /// width that a report would happily print.
+    #[test]
+    fn empty_and_single_sample_queries_are_errors_not_nan() {
+        let empty = Welford::new();
+        assert_eq!(empty.try_min(), Err(StatError::Empty));
+        assert_eq!(empty.try_max(), Err(StatError::Empty));
+        assert_eq!(empty.try_ci95(), Err(StatError::Empty));
+        assert_eq!(empty.min(), None);
+        assert_eq!(empty.max(), None);
+        assert!(!empty.mean().is_nan(), "empty mean is 0, not NaN");
+        assert_eq!(empty.mean(), 0.0);
+
+        let mut one = Welford::new();
+        one.push(7.25);
+        assert_eq!(one.try_min(), Ok(7.25), "one sample has an extremum");
+        assert_eq!(one.try_max(), Ok(7.25));
+        assert_eq!(one.try_ci95(), Err(StatError::OneSample));
+        assert!(one.variance().is_none(), "spread needs two samples");
+        // The error values explain themselves (they reach spec users).
+        assert!(StatError::Empty.to_string().contains("no samples"));
+        assert!(StatError::OneSample.to_string().contains("at least 2"));
+    }
+
+    #[test]
+    fn metric_orientation_covers_every_reported_metric() {
+        // Exactly the throughput-style metrics count up; everything else
+        // (latency, miss rates, energy) counts down.
+        let up: Vec<&str> = REPORTED_METRICS
+            .iter()
+            .copied()
+            .filter(|m| higher_is_better(m))
+            .collect();
+        assert_eq!(up, ["ipc", "coverage", "merge_ratio"]);
+        assert!(!higher_is_better("energy_per_access"));
+        assert_eq!(reported_extractors().len(), REPORTED_METRICS.len());
     }
 
     #[test]

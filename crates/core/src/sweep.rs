@@ -230,9 +230,38 @@ where
     R: Fn(usize, u32) -> Result<T, E> + Sync,
     S: Fn(&T) -> &RunSummary,
 {
+    replicate_rounds_by(points, rep.initial_count(), jobs, run, |p, all| {
+        rep.converged(all[p].iter().map(&summary))
+    })
+}
+
+/// The fully general round driver behind [`replicate_rounds`] and the
+/// paired comparison driver (`malec_core::compare::paired_rounds`):
+/// `converged(point, all_replicates)` sees **every** point's ordered
+/// replicate prefix, so a stopping rule may couple points (the paired-delta
+/// criterion stops a baseline/candidate pair jointly). The rule must stay a
+/// pure function of those prefixes — that is what makes serial and parallel
+/// runs stop at identical counts.
+///
+/// # Errors
+///
+/// Returns the first `run` error in unit order, once its round completes.
+pub fn replicate_rounds_by<T, E, R, C>(
+    points: usize,
+    initial: u32,
+    jobs: Option<usize>,
+    run: R,
+    converged: C,
+) -> Result<Vec<Vec<T>>, E>
+where
+    T: Send,
+    E: Send,
+    R: Fn(usize, u32) -> Result<T, E> + Sync,
+    C: Fn(usize, &[Vec<T>]) -> bool,
+{
     let mut replicates: Vec<Vec<T>> = (0..points).map(|_| Vec::new()).collect();
     let mut pending: Vec<(usize, u32)> = (0..points)
-        .flat_map(|p| (0..rep.initial_count()).map(move |r| (p, r)))
+        .flat_map(|p| (0..initial).map(move |r| (p, r)))
         .collect();
     while !pending.is_empty() {
         let workers = workers_for(pending.len(), jobs);
@@ -241,7 +270,7 @@ where
             replicates[p].push(result?);
         }
         pending = (0..points)
-            .filter(|&p| !rep.converged(replicates[p].iter().map(&summary)))
+            .filter(|&p| !converged(p, &replicates))
             .map(|p| (p, replicates[p].len() as u32))
             .collect();
     }

@@ -158,6 +158,34 @@ impl Client {
         }
     }
 
+    /// Fetches a finished job's paired-comparison report JSON (the
+    /// `malec-cli compare` schema), assembled server-side from the job's
+    /// cache-keyed per-replicate cells.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unknown jobs, jobs still running (`409`), and
+    /// jobs with no comparable pair (`400`, with the server's reason).
+    pub fn compare(&self, job: u64) -> Result<String, String> {
+        let (status, text) = self.call("GET", &format!("/v1/jobs/{job}/compare"), b"")?;
+        if status == 200 {
+            Ok(text)
+        } else {
+            let detail = parse(&text)
+                .ok()
+                .and_then(|v| v.get("error").and_then(Value::as_str).map(str::to_owned))
+                .unwrap_or_default();
+            Err(format!(
+                "compare for job {job}: server returned {status}{}",
+                if detail.is_empty() {
+                    String::new()
+                } else {
+                    format!(": {detail}")
+                }
+            ))
+        }
+    }
+
     /// Fetches the cache counters.
     ///
     /// # Errors

@@ -3,6 +3,7 @@
 //! `workload` / `workers` / wall-clock vocabulary), plus per-cell rows and
 //! the generator-vs-replay digest verdict.
 
+use malec_core::compare::{compare_digest, CompareStats};
 use malec_core::digest::digest;
 use malec_core::stats::ReplicateStats;
 use malec_core::RunSummary;
@@ -191,6 +192,80 @@ pub fn render(meta: &ReportMeta<'_>, cells: &[CellResult]) -> String {
     )
 }
 
+/// The run-level facts a compare report carries besides its delta blocks.
+#[derive(Clone, Debug)]
+pub struct CompareReportMeta<'a> {
+    /// Where the spec came from (a path, `inline`, or `job:<id>`).
+    pub spec_path: &'a str,
+    /// Scenario name.
+    pub scenario: &'a str,
+    /// Segment labels of the scenario.
+    pub segments: &'a [&'a str],
+    /// Instructions per cell.
+    pub insts: u64,
+    /// Base seed (shared by both sides; replicate `i` derives from it).
+    pub seed: u64,
+    /// Maximum shared seeds per side (the spec's `seeds` cap).
+    pub seeds: u32,
+    /// Worker fan-out used.
+    pub workers: usize,
+    /// Comparison wall clock.
+    pub wall_seconds: f64,
+}
+
+/// JSON-literal text for an optional float (`null` when absent).
+fn opt_num(v: Option<f64>) -> String {
+    v.map_or_else(|| "null".to_owned(), |x| format!("{x:.9}"))
+}
+
+/// Renders a paired comparison as pretty-printed JSON. The `digest` field
+/// is [`compare_digest`] over the delta blocks (exact bit patterns), so
+/// two reports describe the same comparison **iff** their digests match —
+/// the serve-vs-local and golden-regression tests key on it. Run-level
+/// facts that legitimately differ between drivers (spec path, workers,
+/// wall clock) stay outside the digest.
+pub fn render_compare(meta: &CompareReportMeta<'_>, stats: &CompareStats) -> String {
+    let (wins, losses, ties) = stats.tally();
+    let mut deltas = String::new();
+    let last = stats.metrics.len();
+    for (i, (name, d)) in stats.metrics.iter().enumerate() {
+        let relative_pct = d.relative.map(|r| 100.0 * r);
+        deltas.push_str(&format!(
+            "    \"{name}\": {{\n      \"baseline_mean\": {:.9},\n      \"candidate_mean\": {:.9},\n      \"delta_mean\": {:.9},\n      \"ci\": {},\n      \"independent_ci\": {},\n      \"relative_pct\": {},\n      \"higher_is_better\": {},\n      \"verdict\": \"{}\"\n    }}{}\n",
+            d.baseline_mean,
+            d.candidate_mean,
+            d.delta_mean,
+            opt_num(d.ci),
+            opt_num(d.independent_ci),
+            opt_num(relative_pct),
+            d.higher_is_better,
+            d.verdict.name(),
+            if i + 1 == last { "" } else { "," },
+        ));
+    }
+    format!(
+        "{{\n  \"bench\": \"malec_compare\",\n  \"spec\": \"{}\",\n  \"scenario\": \"{}\",\n  \"segments\": {},\n  \"baseline\": \"{}\",\n  \"candidate\": \"{}\",\n  \"alpha\": {},\n  \"workload\": {{\n    \"insts_per_cell\": {},\n    \"seed\": {},\n    \"seeds\": {},\n    \"replicates\": {},\n    \"replicates_saved\": {}\n  }},\n  \"workers\": {},\n  \"wall_seconds\": {:.4},\n  \"digest\": \"{:#018x}\",\n  \"verdicts\": {{ \"win\": {}, \"loss\": {}, \"tie\": {} }},\n  \"deltas\": {{\n{}  }}\n}}\n",
+        esc(meta.spec_path),
+        esc(meta.scenario),
+        str_list(meta.segments.iter().copied()),
+        esc(&stats.baseline),
+        esc(&stats.candidate),
+        stats.alpha.value(),
+        meta.insts,
+        meta.seed,
+        meta.seeds,
+        stats.n,
+        stats.saved,
+        meta.workers,
+        meta.wall_seconds,
+        compare_digest(stats),
+        wins,
+        losses,
+        ties,
+        deltas,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -272,6 +347,85 @@ mod tests {
             .get("ci95")
             .and_then(crate::json::Value::as_f64)
             .is_some());
+    }
+
+    #[test]
+    fn compare_report_is_valid_json_with_delta_blocks() {
+        use malec_core::compare::{Alpha, CompareStats};
+        use malec_core::stats::replicate_seed;
+        let gzip = benchmark_named("gzip").unwrap();
+        let run =
+            |cfg: SimConfig, r: u32| Simulator::new(cfg).run(&gzip, 2_000, replicate_seed(3, r));
+        let base: Vec<_> = (0..4).map(|r| run(SimConfig::base1ldst(), r)).collect();
+        let cand: Vec<_> = (0..4).map(|r| run(SimConfig::malec(), r)).collect();
+        let stats = CompareStats::from_pairs(&base, &cand, 6, Alpha::Five);
+        let meta = CompareReportMeta {
+            spec_path: "inline",
+            scenario: "demo \"q\"",
+            segments: &["gzip"],
+            insts: 2_000,
+            seed: 3,
+            seeds: 6,
+            workers: 2,
+            wall_seconds: 0.25,
+        };
+        let json = render_compare(&meta, &stats);
+        let v = crate::json::parse(&json).expect("compare report stays valid JSON");
+        assert_eq!(
+            v.get("bench").and_then(crate::json::Value::as_str),
+            Some("malec_compare")
+        );
+        assert_eq!(
+            v.get("baseline").and_then(crate::json::Value::as_str),
+            Some("Base1ldst")
+        );
+        assert_eq!(
+            v.get("alpha").and_then(crate::json::Value::as_f64),
+            Some(0.05)
+        );
+        let ipc = v
+            .get("deltas")
+            .and_then(|d| d.get("ipc"))
+            .expect("ipc delta block");
+        let delta = ipc
+            .get("delta_mean")
+            .and_then(crate::json::Value::as_f64)
+            .expect("delta_mean");
+        let b = ipc
+            .get("baseline_mean")
+            .and_then(crate::json::Value::as_f64)
+            .unwrap();
+        let c = ipc
+            .get("candidate_mean")
+            .and_then(crate::json::Value::as_f64)
+            .unwrap();
+        assert!((delta - (c - b)).abs() < 1e-6);
+        assert!(ipc.get("ci").and_then(crate::json::Value::as_f64).is_some());
+        assert!(ipc
+            .get("verdict")
+            .and_then(crate::json::Value::as_str)
+            .is_some());
+        // The digest field is the behavioral digest of the delta blocks.
+        assert_eq!(
+            v.get("digest").and_then(crate::json::Value::as_str),
+            Some(format!("{:#018x}", malec_core::compare::compare_digest(&stats)).as_str())
+        );
+        // Meta that may differ across drivers stays outside the digest:
+        // re-rendering under a different worker count keeps the digest.
+        let other = render_compare(
+            &CompareReportMeta {
+                workers: 16,
+                wall_seconds: 9.9,
+                spec_path: "job:4",
+                ..meta
+            },
+            &stats,
+        );
+        let ov = crate::json::parse(&other).expect("valid");
+        assert_eq!(
+            ov.get("digest").and_then(crate::json::Value::as_str),
+            v.get("digest").and_then(crate::json::Value::as_str)
+        );
     }
 
     #[test]

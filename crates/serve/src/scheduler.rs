@@ -31,6 +31,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+use malec_core::compare::{paired_converged, Alpha, CompareStats};
 use malec_core::parallel::worker_count;
 use malec_core::stats::{replicate_seed, ReplicateStats};
 use malec_core::{RunSummary, ScenarioSource, Simulator};
@@ -38,7 +39,7 @@ use malec_trace::Scenario;
 use malec_types::SimConfig;
 
 use crate::cache::{cache_key, CacheStats, ResultCache};
-use crate::report::{render, CellResult, ReportMeta};
+use crate::report::{render, render_compare, CellResult, CompareReportMeta, ReportMeta};
 use crate::spec::SweepSpec;
 
 /// Server-side job identifier.
@@ -97,6 +98,10 @@ struct Job {
     units: Vec<(usize, u32)>,
     cells: Vec<Option<(Arc<RunSummary>, Provenance)>>,
     groups: Vec<Group>,
+    /// Explicit `[compare]` pairing `(baseline group, candidate group,
+    /// alpha)`: under a `ci_target` these two groups stop **jointly**
+    /// through the paired-delta criterion instead of their marginal CIs.
+    pair: Option<(usize, usize, Alpha)>,
     started: Instant,
     wall_seconds: Option<f64>,
 }
@@ -162,6 +167,15 @@ impl JobStatus {
     pub fn served_without_simulation(&self) -> usize {
         self.cached + self.coalesced
     }
+}
+
+/// Why a comparison cannot be served for a known job.
+#[derive(Clone, Debug)]
+pub enum CompareError {
+    /// The job is still running; the status says how far along it is.
+    Running(JobStatus),
+    /// The job is done but has no comparable pair (message says why).
+    NotComparable(String),
 }
 
 /// Waiters parked on an in-flight simulation.
@@ -264,6 +278,15 @@ impl Engine {
                     saved: 0,
                 })
                 .collect(),
+            // Only an explicit [compare] couples the pair's stopping rule
+            // (a defaulted comparison over a plain spec is an aggregation
+            // concern, not a scheduling one).
+            pair: spec
+                .compare
+                .is_some()
+                .then(|| spec.resolve_compare().ok())
+                .flatten()
+                .map(|r| (r.baseline, r.candidate, r.alpha)),
             scenario,
             spec,
             started: Instant::now(),
@@ -358,6 +381,57 @@ impl Engine {
                 wall_seconds: j.wall_seconds.unwrap_or(0.0),
             },
             &cells,
+        );
+        Some(Ok(json))
+    }
+
+    /// The finished job's **paired comparison report** (the `malec-cli
+    /// compare` JSON schema), assembled purely from the job's cache-keyed
+    /// per-replicate cells — no simulation happens here, so a job served
+    /// 100 % from cache compares for free. Pairs replicate `i` of the
+    /// baseline group with replicate `i` of the candidate group (shared
+    /// seed); the pairing comes from the spec's `[compare]` section or the
+    /// default (Base1ldst vs MALEC at `alpha = 0.05`).
+    ///
+    /// Returns `None` for an unknown id; `Some(Err(..))` while the job is
+    /// still running ([`CompareError::Running`]) or when the job cannot be
+    /// compared ([`CompareError::NotComparable`] — pair not in the job's
+    /// configs, or a single-seed sweep).
+    pub fn job_compare(&self, job: JobId) -> Option<Result<String, CompareError>> {
+        let status = self.job_status(job)?;
+        if status.state != "done" {
+            return Some(Err(CompareError::Running(status)));
+        }
+        let jobs = self.inner.jobs.lock().expect("jobs lock");
+        let j = jobs.get(&job)?;
+        let resolved = match j.spec.resolve_compare() {
+            Ok(r) => r,
+            Err(e) => return Some(Err(CompareError::NotComparable(e.to_string()))),
+        };
+        let owned = |config: usize| -> Vec<RunSummary> {
+            j.group_replicates(config)
+                .expect("job is done, every replicate finished")
+                .iter()
+                .map(|s| (**s).clone())
+                .collect()
+        };
+        let base = owned(resolved.baseline);
+        let cand = owned(resolved.candidate);
+        let stats =
+            CompareStats::from_pairs(&base, &cand, j.spec.replication.seeds, resolved.alpha);
+        let spec_path = format!("job:{job}");
+        let json = render_compare(
+            &CompareReportMeta {
+                spec_path: &spec_path,
+                scenario: &j.spec.scenario.name,
+                segments: &j.spec.scenario.segment_labels(),
+                insts: j.spec.insts,
+                seed: j.spec.seed,
+                seeds: j.spec.replication.seeds,
+                workers: self.inner.workers,
+                wall_seconds: j.wall_seconds.unwrap_or(0.0),
+            },
+            &stats,
         );
         Some(Ok(json))
     }
@@ -511,34 +585,47 @@ fn finish_cell(
     summary: Arc<RunSummary>,
     provenance: Provenance,
 ) {
-    let new_unit = {
+    let new_units = {
         let mut jobs = inner.jobs.lock().expect("jobs lock");
         let Some(j) = jobs.get_mut(&job) else {
             return;
         };
         j.cells[cell] = Some((summary, provenance));
         let (config_idx, _) = j.units[cell];
-        let new_unit = extend_group(j, job, config_idx);
+        let new_units = extend_after_finish(j, job, config_idx);
         if j.done() && j.wall_seconds.is_none() {
             j.wall_seconds = Some(j.started.elapsed().as_secs_f64());
         }
-        new_unit
+        new_units
     };
     // Enqueue outside the jobs lock (lock order everywhere: jobs before
     // queue is never held; queue is only ever taken alone).
-    if let Some(unit) = new_unit {
+    if !new_units.is_empty() {
         let mut q = inner.queue.lock().expect("queue lock");
-        q.push_back(unit);
+        q.extend(new_units);
         drop(q);
         inner.available.notify_all();
     }
 }
 
-/// Replication step for one config group: once every planned replicate has
-/// finished, either certify convergence (CI target met, or the seed cap
-/// reached) or grow the group by exactly one replicate. Growing one at a
-/// time makes the final count the smallest prefix satisfying the policy —
-/// the same count a serial driver picks.
+/// Replication step after one cell of `config_idx` finished. Groups paired
+/// by an explicit `[compare]` section route to [`extend_pair`] (the paired
+/// delta is their stopping criterion); every other group keeps the
+/// marginal rule of [`extend_group`].
+fn extend_after_finish(j: &mut Job, job: JobId, config_idx: usize) -> Vec<WorkUnit> {
+    if let Some((b, c, alpha)) = j.pair {
+        if config_idx == b || config_idx == c {
+            return extend_pair(j, job, b, c, alpha);
+        }
+    }
+    extend_group(j, job, config_idx).into_iter().collect()
+}
+
+/// Marginal replication step for one config group: once every planned
+/// replicate has finished, either certify convergence (CI target met, or
+/// the seed cap reached) or grow the group by exactly one replicate.
+/// Growing one at a time makes the final count the smallest prefix
+/// satisfying the policy — the same count a serial driver picks.
 fn extend_group(j: &mut Job, job: JobId, config_idx: usize) -> Option<WorkUnit> {
     let rep = j.spec.replication;
     if j.groups[config_idx].converged {
@@ -546,25 +633,60 @@ fn extend_group(j: &mut Job, job: JobId, config_idx: usize) -> Option<WorkUnit> 
     }
     let replicates = j.group_replicates(config_idx)?;
     if rep.converged(replicates.iter().map(Arc::as_ref)) {
-        let g = &mut j.groups[config_idx];
-        g.converged = true;
-        g.saved = rep.seeds.saturating_sub(g.planned);
-        if g.saved > 0 {
-            eprintln!(
-                "malec-serve: job {job} `{}` converged after {}/{} replicates ({} saved)",
-                j.spec.configs[config_idx].label(),
-                g.planned,
-                rep.seeds,
-                g.saved,
-            );
-        }
+        certify(j, job, config_idx);
         return None;
     }
+    Some(push_unit(j, job, config_idx))
+}
+
+/// Paired replication step for the `[compare]` groups: once **both**
+/// groups' planned replicates have finished, either certify joint
+/// convergence (the paired-delta criterion of
+/// [`malec_core::compare::paired_converged`] — the same pure prefix
+/// function the local `paired_rounds` driver uses, so server and CLI stop
+/// at identical counts) or grow *both* groups by one shared seed.
+fn extend_pair(j: &mut Job, job: JobId, b: usize, c: usize, alpha: Alpha) -> Vec<WorkUnit> {
+    let rep = j.spec.replication;
+    if j.groups[b].converged || j.groups[c].converged {
+        return Vec::new();
+    }
+    let (Some(base), Some(cand)) = (j.group_replicates(b), j.group_replicates(c)) else {
+        return Vec::new(); // one side still has pending replicates
+    };
+    let n = base.len().min(cand.len());
+    let pairs = (0..n).map(|i| (base[i].as_ref(), cand[i].as_ref()));
+    if paired_converged(&rep, alpha, pairs) {
+        certify(j, job, b);
+        certify(j, job, c);
+        return Vec::new();
+    }
+    vec![push_unit(j, job, b), push_unit(j, job, c)]
+}
+
+/// Marks one group converged and prices what the CI target saved.
+fn certify(j: &mut Job, job: JobId, config_idx: usize) {
+    let rep = j.spec.replication;
+    let g = &mut j.groups[config_idx];
+    g.converged = true;
+    g.saved = rep.seeds.saturating_sub(g.planned);
+    if g.saved > 0 {
+        eprintln!(
+            "malec-serve: job {job} `{}` converged after {}/{} replicates ({} saved)",
+            j.spec.configs[config_idx].label(),
+            g.planned,
+            rep.seeds,
+            g.saved,
+        );
+    }
+}
+
+/// Appends one more replicate slot to a group and builds its work unit.
+fn push_unit(j: &mut Job, job: JobId, config_idx: usize) -> WorkUnit {
     let replicate = j.groups[config_idx].planned;
     j.groups[config_idx].planned += 1;
     j.units.push((config_idx, replicate));
     j.cells.push(None);
-    Some(WorkUnit {
+    WorkUnit {
         job,
         cell: j.cells.len() - 1,
         config: j.spec.configs[config_idx].clone(),
@@ -572,7 +694,7 @@ fn extend_group(j: &mut Job, job: JobId, config_idx: usize) -> Option<WorkUnit> 
         insts: j.spec.insts,
         seed: j.spec.seed,
         replicate,
-    })
+    }
 }
 
 #[cfg(test)]
@@ -707,6 +829,95 @@ mod tests {
         let engine = Engine::new(Some(1), None).expect("engine");
         assert!(engine.job_status(999).is_none());
         assert!(engine.job_report(999).is_none());
+        assert!(engine.job_compare(999).is_none());
+        engine.shutdown();
+    }
+
+    #[test]
+    fn compare_reports_assemble_from_replicate_cells_and_match_local_pairing() {
+        use malec_core::compare::{compare_digest, Alpha, CompareStats};
+        let engine = Engine::new(Some(2), None).expect("engine");
+        let spec = parse_spec(
+            "[scenario]\nmode = \"preset\"\npreset = \"store_burst\"\n\
+             [compare]\nbaseline = \"Base1ldst\"\ncandidate = \"MALEC\"\n\
+             [sweep]\ninsts = 2000\nseed = 5\nseeds = 4\n",
+        )
+        .expect("spec");
+        let job = engine.submit(spec.clone());
+        let status = wait_done(&engine, job);
+        assert_eq!(status.cells, 8, "2 configs x 4 shared seeds");
+        let report = engine.job_compare(job).expect("known").expect("done");
+        assert!(report.contains("\"bench\": \"malec_compare\""), "{report}");
+        assert!(report.contains("\"verdict\""));
+
+        // The served digest equals a locally assembled pairing over the
+        // same seeds — the endpoint is pure aggregation, no simulation.
+        use malec_core::stats::replicate_seed;
+        use malec_core::{ScenarioSource, Simulator};
+        let source = ScenarioSource::Scenario(spec.scenario.clone());
+        let runs = |cfg: &malec_types::SimConfig| -> Vec<malec_core::RunSummary> {
+            (0..4)
+                .map(|r| {
+                    Simulator::new(cfg.clone())
+                        .run_source(&source, spec.insts, replicate_seed(spec.seed, r))
+                        .expect("generator sources cannot fail")
+                })
+                .collect()
+        };
+        let stats = CompareStats::from_pairs(
+            &runs(&spec.configs[0]),
+            &runs(&spec.configs[1]),
+            4,
+            Alpha::Five,
+        );
+        assert!(
+            report.contains(&format!("{:#018x}", compare_digest(&stats))),
+            "served deltas must be bit-identical to the local pairing"
+        );
+        engine.shutdown();
+    }
+
+    #[test]
+    fn paired_ci_target_stops_both_groups_jointly() {
+        let engine = Engine::new(Some(3), None).expect("engine");
+        let spec = parse_spec(
+            "[scenario]\nmode = \"preset\"\npreset = \"store_burst\"\n\
+             [compare]\n\
+             [sweep]\ninsts = 2000\nseed = 5\nseeds = 16\nmin_seeds = 3\nci_target = 0.5\n",
+        )
+        .expect("spec");
+        let job = engine.submit(spec);
+        let status = wait_done(&engine, job);
+        assert!(
+            status.cells < 32,
+            "paired early stopping must cut the pair count, got {}",
+            status.cells
+        );
+        assert_eq!(
+            status.cells % 2,
+            0,
+            "the pair grows jointly: both sides always hold the same count"
+        );
+        assert!(status.cells >= 6, "never below min_seeds per side");
+        let report = engine.job_compare(job).expect("known").expect("done");
+        let n = status.cells / 2;
+        assert!(report.contains(&format!("\"replicates\": {n}")), "{report}");
+        assert!(report.contains(&format!("\"replicates_saved\": {}", 16 - n)));
+        engine.shutdown();
+    }
+
+    #[test]
+    fn single_seed_jobs_are_not_comparable() {
+        let engine = Engine::new(Some(1), None).expect("engine");
+        let spec = parse_spec(SPEC).expect("spec");
+        let job = engine.submit(spec);
+        wait_done(&engine, job);
+        match engine.job_compare(job) {
+            Some(Err(CompareError::NotComparable(msg))) => {
+                assert!(msg.contains("`seeds` >= 2"), "{msg}");
+            }
+            other => panic!("expected NotComparable, got {other:?}"),
+        }
         engine.shutdown();
     }
 }

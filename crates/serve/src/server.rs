@@ -6,6 +6,7 @@
 //! | `/v1/jobs`                | POST   | body = TOML sweep spec → `202` + job id   |
 //! | `/v1/jobs/<id>`           | GET    | job status (cells done / cached / running)|
 //! | `/v1/jobs/<id>/report`    | GET    | finished job's report (`run` JSON schema) |
+//! | `/v1/jobs/<id>/compare`   | GET    | paired delta report (`compare` schema)    |
 //! | `/v1/cache/stats`         | GET    | result-cache counters                     |
 //! | `/v1/healthz`             | GET    | liveness probe                            |
 //! | `/v1/shutdown`            | POST   | drain workers and stop accepting          |
@@ -26,7 +27,7 @@ use std::thread::JoinHandle;
 use crate::cache::CacheStats;
 use crate::http::{read_request, write_response, Request};
 use crate::report::esc;
-use crate::scheduler::{Engine, JobStatus};
+use crate::scheduler::{CompareError, Engine, JobStatus};
 use crate::spec::parse_spec;
 
 /// The default address `malec-cli serve` binds and its clients target.
@@ -243,30 +244,47 @@ fn handle_submit(stream: &mut TcpStream, engine: &Engine, request: &Request) {
     }
 }
 
+/// What a `/v1/jobs/<id>...` GET asks for.
+enum JobQuery {
+    Status,
+    Report,
+    Compare,
+}
+
 fn handle_job_get(stream: &mut TcpStream, engine: &Engine, path: &str) {
     let rest = &path["/v1/jobs/".len()..];
-    let (id_text, want_report) = match rest.strip_suffix("/report") {
-        Some(id) => (id, true),
-        None => (rest, false),
+    let (id_text, query) = if let Some(id) = rest.strip_suffix("/report") {
+        (id, JobQuery::Report)
+    } else if let Some(id) = rest.strip_suffix("/compare") {
+        (id, JobQuery::Compare)
+    } else {
+        (rest, JobQuery::Status)
     };
     let Ok(id) = id_text.parse::<u64>() else {
         respond_error(stream, 400, &format!("bad job id `{id_text}`"));
         return;
     };
-    if want_report {
-        match engine.job_report(id) {
+    match query {
+        JobQuery::Report => match engine.job_report(id) {
             None => respond_error(stream, 404, &format!("unknown job {id}")),
             Some(Err(status)) => {
                 // 409: the resource exists but is not in a fetchable state.
                 respond_json(stream, 409, &job_status_json(&status));
             }
             Some(Ok(report)) => respond_json(stream, 200, &report),
-        }
-    } else {
-        match engine.job_status(id) {
+        },
+        JobQuery::Compare => match engine.job_compare(id) {
+            None => respond_error(stream, 404, &format!("unknown job {id}")),
+            Some(Err(CompareError::Running(status))) => {
+                respond_json(stream, 409, &job_status_json(&status));
+            }
+            Some(Err(CompareError::NotComparable(msg))) => respond_error(stream, 400, &msg),
+            Some(Ok(report)) => respond_json(stream, 200, &report),
+        },
+        JobQuery::Status => match engine.job_status(id) {
             None => respond_error(stream, 404, &format!("unknown job {id}")),
             Some(status) => respond_json(stream, 200, &job_status_json(&status)),
-        }
+        },
     }
 }
 
@@ -377,6 +395,17 @@ mod tests {
         let (status, stats) = get_json(addr, "/v1/cache/stats");
         assert_eq!(status, 200);
         assert_eq!(stats.get("entries").and_then(Value::as_u64), Some(1));
+
+        // The compare route is wired: a single-seed job is done but not
+        // comparable, which is a clean 400 with the resolver's reason.
+        let (status, v) = get_json(addr, &format!("/v1/jobs/{job}/compare"));
+        assert_eq!(status, 400);
+        assert!(v
+            .get("error")
+            .and_then(Value::as_str)
+            .is_some_and(|e| e.contains("`seeds` >= 2")));
+        let (status, _) = get_json(addr, "/v1/jobs/999/compare");
+        assert_eq!(status, 404);
 
         let (status, _) = request(addr, "POST", "/v1/shutdown", b"").expect("shutdown");
         assert_eq!(status, 200);

@@ -8,6 +8,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use malec_core::compare::Alpha;
 use malec_core::stats::{CiMetric, Replication};
 use malec_trace::benchmark_named;
 use malec_trace::scenario::{
@@ -46,10 +47,103 @@ pub struct SweepSpec {
     /// Multi-seed replication policy (`seeds` / `min_seeds` / `ci_target` /
     /// `ci_metric` in `[sweep]`; defaults to the legacy single seed).
     pub replication: Replication,
+    /// Paired comparison (`[compare]`), if the spec declares one. With a
+    /// `ci_target`, the paired delta becomes the stopping criterion for
+    /// the compared pair of configurations.
+    pub compare: Option<CompareSpec>,
     /// JSON report path (`<scenario name>_report.json` if unset).
     pub out: String,
     /// Recorded trace path (`<scenario name>.mtr` if unset).
     pub mtr: String,
+    /// Compare-report path (`<scenario name>_compare.json` if unset).
+    pub compare_out: String,
+}
+
+/// The `[compare]` section: which two interfaces of the sweep are paired
+/// per shared replicate seed, and the verdict significance level.
+#[derive(Clone, Debug)]
+pub struct CompareSpec {
+    /// Baseline configuration.
+    pub baseline: SimConfig,
+    /// Candidate configuration (deltas are candidate − baseline).
+    pub candidate: SimConfig,
+    /// Verdict significance level (`alpha`; 0.10, 0.05 or 0.01).
+    pub alpha: Alpha,
+}
+
+impl Default for CompareSpec {
+    /// The paper's headline pairing: MALEC against the energy-oriented
+    /// baseline at 95 % confidence.
+    fn default() -> Self {
+        Self {
+            baseline: SimConfig::base1ldst(),
+            candidate: SimConfig::malec(),
+            alpha: Alpha::default(),
+        }
+    }
+}
+
+/// A fully resolved comparison over a spec's config list.
+#[derive(Clone, Copy, Debug)]
+pub struct ResolvedCompare {
+    /// Index of the baseline in `SweepSpec::configs`.
+    pub baseline: usize,
+    /// Index of the candidate in `SweepSpec::configs`.
+    pub candidate: usize,
+    /// Verdict significance level.
+    pub alpha: Alpha,
+}
+
+impl SweepSpec {
+    /// Resolves this spec's comparison against its config list: the
+    /// explicit `[compare]` section, or the default (Base1ldst vs MALEC at
+    /// `alpha = 0.05`) when the spec has none — so `malec compare` and
+    /// `GET /v1/jobs/<id>/compare` work on any spec whose configs carry
+    /// the pair.
+    ///
+    /// # Errors
+    ///
+    /// Rejects comparisons whose baseline or candidate is not in the
+    /// sweep's configs, and single-seed sweeps (a paired verdict needs at
+    /// least two shared seeds). A `ci_target` without an explicit
+    /// `[compare]` section is also rejected: early stopping must follow
+    /// exactly one criterion everywhere, and only an explicit section
+    /// makes the **paired delta** that criterion (the `malec-serve`
+    /// scheduler keeps a plain replicated sweep on the marginal rule so
+    /// `submit` stays bit-identical to `run`; an implicit pairing on top
+    /// of it would stop at different counts than a local `compare`).
+    pub fn resolve_compare(&self) -> Result<ResolvedCompare, SpecError> {
+        if self.compare.is_none() && self.replication.ci_target.is_some() {
+            return Err(bad(
+                "[sweep]: `ci_target` with an implicit pairing is ambiguous — add an explicit \
+                 [compare] section so the paired delta drives early stopping",
+            ));
+        }
+        let cmp = self.compare.clone().unwrap_or_default();
+        let index_of = |cfg: &SimConfig| {
+            self.configs
+                .iter()
+                .position(|c| c.label() == cfg.label())
+                .ok_or_else(|| {
+                    bad(format!(
+                        "[compare]: `{}` is not in the sweep's configs \
+                         (add it to [sweep] configs or change the pairing)",
+                        cfg.label()
+                    ))
+                })
+        };
+        if self.replication.seeds < 2 {
+            return Err(bad(
+                "[compare]: a paired comparison needs `seeds` >= 2 in [sweep] \
+                 (one shared seed has no interval)",
+            ));
+        }
+        Ok(ResolvedCompare {
+            baseline: index_of(&cmp.baseline)?,
+            candidate: index_of(&cmp.candidate)?,
+            alpha: cmp.alpha,
+        })
+    }
 }
 
 /// A spec-level failure: parse error or semantic problem.
@@ -272,13 +366,71 @@ fn parse_scenario(root: &Table) -> Result<Scenario, SpecError> {
     }
 }
 
-fn parse_configs(root: &Table) -> Result<Vec<SimConfig>, SpecError> {
+/// Parses a config label, naming the valid set on failure.
+fn config_by_label(label: &str, ctx: &str) -> Result<SimConfig, SpecError> {
+    SimConfig::by_label(label).ok_or_else(|| {
+        bad(format!(
+            "{ctx}: unknown config `{label}` (expected one of {})",
+            SimConfig::figure4_set()
+                .iter()
+                .map(SimConfig::label)
+                .collect::<Vec<_>>()
+                .join(", ")
+        ))
+    })
+}
+
+fn parse_compare(root: &Table) -> Result<Option<CompareSpec>, SpecError> {
+    let Some(t) = root.get("compare").and_then(Value::as_table) else {
+        return Ok(None);
+    };
+    reject_unknown_keys(t, &["baseline", "candidate", "alpha"], "[compare]")?;
+    let d = CompareSpec::default();
+    let side = |key: &str, default: SimConfig| match t.get(key) {
+        None => Ok(default),
+        Some(v) => {
+            let label = v
+                .as_str()
+                .ok_or_else(|| bad(format!("[compare]: `{key}` must be a config label string")))?;
+            config_by_label(label, "[compare]")
+        }
+    };
+    let baseline = side("baseline", d.baseline)?;
+    let candidate = side("candidate", d.candidate)?;
+    if baseline.label() == candidate.label() {
+        return Err(bad(
+            "[compare]: `baseline` and `candidate` must differ (a config cannot be paired with itself)",
+        ));
+    }
+    let alpha = match t.get("alpha") {
+        None => d.alpha,
+        Some(v) => {
+            let f = v
+                .as_float()
+                .ok_or_else(|| bad("[compare]: `alpha` must be a number"))?;
+            Alpha::from_value(f).ok_or_else(|| {
+                bad("[compare]: `alpha` must be one of 0.10, 0.05, 0.01 (the exact t-table levels)")
+            })?
+        }
+    };
+    Ok(Some(CompareSpec {
+        baseline,
+        candidate,
+        alpha,
+    }))
+}
+
+fn parse_configs(root: &Table, compare: Option<&CompareSpec>) -> Result<Vec<SimConfig>, SpecError> {
     let sweep = root.get("sweep").and_then(Value::as_table);
     let Some(list) = sweep
         .and_then(|t| t.get("configs"))
         .and_then(Value::as_array)
     else {
-        // No explicit list: the three Table I configurations.
+        // No explicit list: the compared pair when a [compare] section
+        // names one, otherwise the three Table I configurations.
+        if let Some(cmp) = compare {
+            return Ok(vec![cmp.baseline.clone(), cmp.candidate.clone()]);
+        }
         return Ok(vec![
             SimConfig::base1ldst(),
             SimConfig::base2ld1st(),
@@ -293,16 +445,7 @@ fn parse_configs(root: &Table) -> Result<Vec<SimConfig>, SpecError> {
             let label = v
                 .as_str()
                 .ok_or_else(|| bad("[sweep]: `configs` must be a list of strings"))?;
-            SimConfig::by_label(label).ok_or_else(|| {
-                bad(format!(
-                    "[sweep]: unknown config `{label}` (expected one of {})",
-                    SimConfig::figure4_set()
-                        .iter()
-                        .map(SimConfig::label)
-                        .collect::<Vec<_>>()
-                        .join(", ")
-                ))
-            })
+            config_by_label(label, "[sweep]")
         })
         .collect()
 }
@@ -314,9 +457,10 @@ fn parse_configs(root: &Table) -> Result<Vec<SimConfig>, SpecError> {
 /// Returns a [`SpecError`] describing the first TOML or semantic problem.
 pub fn parse_spec(input: &str) -> Result<SweepSpec, SpecError> {
     let root = parse(input)?;
-    reject_unknown_keys(&root, &["scenario", "sweep", "report"], "spec")?;
+    reject_unknown_keys(&root, &["scenario", "sweep", "report", "compare"], "spec")?;
     let scenario = parse_scenario(&root)?;
-    let configs = parse_configs(&root)?;
+    let compare = parse_compare(&root)?;
+    let configs = parse_configs(&root, compare.as_ref())?;
     let sweep = root.get("sweep").and_then(Value::as_table);
     let (insts, seed, replication) = match sweep {
         Some(t) => {
@@ -346,7 +490,7 @@ pub fn parse_spec(input: &str) -> Result<SweepSpec, SpecError> {
     }
     let report = root.get("report").and_then(Value::as_table);
     if let Some(t) = report {
-        reject_unknown_keys(t, &["out", "mtr"], "[report]")?;
+        reject_unknown_keys(t, &["out", "mtr", "compare"], "[report]")?;
     }
     let out = report
         .and_then(|t| t.get("out"))
@@ -358,15 +502,29 @@ pub fn parse_spec(input: &str) -> Result<SweepSpec, SpecError> {
         .and_then(Value::as_str)
         .map(str::to_owned)
         .unwrap_or_else(|| format!("{}.mtr", scenario.name));
-    Ok(SweepSpec {
+    let compare_out = report
+        .and_then(|t| t.get("compare"))
+        .and_then(Value::as_str)
+        .map(str::to_owned)
+        .unwrap_or_else(|| format!("{}_compare.json", scenario.name));
+    let spec = SweepSpec {
         scenario,
         configs,
         insts,
         seed,
         replication,
+        compare,
         out,
         mtr,
-    })
+        compare_out,
+    };
+    if spec.compare.is_some() {
+        // An explicit [compare] must be coherent with the rest of the spec
+        // at parse time (membership in the configs, enough seeds for an
+        // interval) — not only when someone eventually asks for deltas.
+        spec.resolve_compare()?;
+    }
+    Ok(spec)
 }
 
 /// Parses and validates the `[sweep]` replication knobs.
@@ -522,6 +680,105 @@ mtr = "demo.mtr"
         // seeds = 2 clamps the default minimum to the cap.
         let doc = "[scenario]\nmode = \"preset\"\npreset = \"store_burst\"\n[sweep]\nseeds = 2\n";
         assert_eq!(parse_spec(doc).expect("parses").replication.min_seeds, 2);
+    }
+
+    #[test]
+    fn parses_compare_sections() {
+        // Explicit pairing with its own alpha; configs default to the pair.
+        let doc = "[scenario]\nmode = \"preset\"\npreset = \"store_burst\"\n\
+                   [compare]\nbaseline = \"Base2ld1st\"\ncandidate = \"MALEC\"\nalpha = 0.01\n\
+                   [sweep]\nseeds = 4\n";
+        let spec = parse_spec(doc).expect("parses");
+        let cmp = spec.compare.as_ref().expect("compare section");
+        assert_eq!(cmp.baseline.label(), "Base2ld1st");
+        assert_eq!(cmp.candidate.label(), "MALEC");
+        assert_eq!(cmp.alpha, Alpha::One);
+        assert_eq!(
+            spec.configs
+                .iter()
+                .map(SimConfig::label)
+                .collect::<Vec<_>>(),
+            ["Base2ld1st", "MALEC"],
+            "no explicit configs: the compared pair is the sweep"
+        );
+        assert_eq!(spec.compare_out, "store_burst_compare.json");
+        let resolved = spec.resolve_compare().expect("resolves");
+        assert_eq!((resolved.baseline, resolved.candidate), (0, 1));
+        assert_eq!(resolved.alpha, Alpha::One);
+
+        // Empty [compare] table: the paper's default pairing at 0.05.
+        let doc = "[scenario]\nmode = \"preset\"\npreset = \"store_burst\"\n\
+                   [compare]\n\n[sweep]\nseeds = 2\n\
+                   [report]\ncompare = \"deltas.json\"\n";
+        let spec = parse_spec(doc).expect("parses");
+        let cmp = spec.compare.as_ref().expect("compare section");
+        assert_eq!(cmp.baseline.label(), "Base1ldst");
+        assert_eq!(cmp.candidate.label(), "MALEC");
+        assert_eq!(cmp.alpha, Alpha::Five);
+        assert_eq!(spec.compare_out, "deltas.json");
+
+        // No [compare] at all: the spec still resolves to the default
+        // pairing against its (Table I default) configs.
+        let doc = "[scenario]\nmode = \"preset\"\npreset = \"store_burst\"\n[sweep]\nseeds = 3\n";
+        let spec = parse_spec(doc).expect("parses");
+        assert!(spec.compare.is_none());
+        let resolved = spec.resolve_compare().expect("default pairing resolves");
+        assert_eq!(spec.configs[resolved.baseline].label(), "Base1ldst");
+        assert_eq!(spec.configs[resolved.candidate].label(), "MALEC");
+
+        // ...but not when a ci_target is in play: a plain replicated sweep
+        // stops marginally (submit stays bit-identical to run), so an
+        // implicit pairing on top would diverge from a local paired run.
+        // Stopping must follow exactly one criterion — demand an explicit
+        // [compare].
+        let doc = "[scenario]\nmode = \"preset\"\npreset = \"store_burst\"\n\
+                   [sweep]\nseeds = 8\nci_target = 0.1\n";
+        let spec = parse_spec(doc).expect("still a valid run/submit spec");
+        let e = spec
+            .resolve_compare()
+            .expect_err("implicit pairing + ci_target");
+        assert!(e.to_string().contains("explicit"), "{e}");
+    }
+
+    #[test]
+    fn rejects_bad_compare_sections() {
+        for (doc, needle) in [
+            (
+                "[scenario]\nmode = \"preset\"\npreset = \"store_burst\"\n\
+                 [compare]\nbaseline = \"Qux\"\n[sweep]\nseeds = 4\n",
+                "unknown config `Qux`",
+            ),
+            (
+                "[scenario]\nmode = \"preset\"\npreset = \"store_burst\"\n\
+                 [compare]\nbaseline = \"MALEC\"\ncandidate = \"MALEC\"\n[sweep]\nseeds = 4\n",
+                "must differ",
+            ),
+            (
+                "[scenario]\nmode = \"preset\"\npreset = \"store_burst\"\n\
+                 [compare]\nalpha = 0.07\n[sweep]\nseeds = 4\n",
+                "one of 0.10, 0.05, 0.01",
+            ),
+            (
+                "[scenario]\nmode = \"preset\"\npreset = \"store_burst\"\n\
+                 [compare]\nalhpa = 0.05\n[sweep]\nseeds = 4\n",
+                "unknown key `alhpa`",
+            ),
+            // A paired verdict needs an interval: one seed cannot carry one.
+            (
+                "[scenario]\nmode = \"preset\"\npreset = \"store_burst\"\n[compare]\n",
+                "`seeds` >= 2",
+            ),
+            // Explicit configs must contain the compared pair.
+            (
+                "[scenario]\nmode = \"preset\"\npreset = \"store_burst\"\n\
+                 [compare]\ncandidate = \"MALEC\"\n\
+                 [sweep]\nconfigs = [\"Base2ld1st\", \"MALEC\"]\nseeds = 4\n",
+                "`Base1ldst` is not in the sweep's configs",
+            ),
+        ] {
+            let e = parse_spec(doc).expect_err(doc);
+            assert!(e.to_string().contains(needle), "`{e}` lacks `{needle}`");
+        }
     }
 
     #[test]

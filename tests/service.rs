@@ -8,11 +8,15 @@
 //! * four clients submitting the same spec **concurrently** all get
 //!   bit-identical reports while the in-flight deduplication keeps the
 //!   total number of simulations at one per unique cell;
-//! * a persisted cache survives a server restart warm.
+//! * a persisted cache survives a server restart warm;
+//! * a paired `[compare]` spec submitted over HTTP yields deltas
+//!   bit-identical to a local `malec-cli compare` run — including across a
+//!   server restart, with **zero** cells re-simulated.
 
 use std::path::PathBuf;
 use std::time::Duration;
 
+use malec_cli::compare::compare_parsed_spec;
 use malec_cli::run::run_parsed_spec;
 use malec_serve::client::Client;
 use malec_serve::json::{parse, Value};
@@ -133,6 +137,85 @@ fn submitted_jobs_match_local_runs_and_resubmission_is_fully_cached() {
         report_digests(&client.report(third).expect("report")),
         server_digests,
         "persisted summaries are bit-identical"
+    );
+    client.shutdown().expect("shutdown");
+    server.join().expect("clean exit");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn paired_compare_survives_restart_and_matches_local_with_zero_resimulation() {
+    let dir = tmp_dir("compare");
+    let cache_path = dir.join("results.cache");
+    let toml = "[scenario]\nname = \"svc_cmp\"\nmode = \"mixed\"\nblock = 24\n\
+                [[scenario.part]]\nkind = \"benchmark\"\nbenchmark = \"gzip\"\nweight = 2\n\
+                [[scenario.part]]\nkind = \"store_burst\"\nweight = 1\n\
+                [compare]\nbaseline = \"Base1ldst\"\ncandidate = \"MALEC\"\nalpha = 0.05\n\
+                [sweep]\ninsts = 4000\nseed = 17\nseeds = 4\n\
+                [report]\nout = \"svc_cmp.json\"\nmtr = \"svc_cmp.mtr\"\ncompare = \"svc_cmp_compare.json\"\n";
+
+    // Local ground truth: the `malec-cli compare` pipeline.
+    let local = compare_parsed_spec(parse_spec(toml).expect("spec parses"), "inline", &dir, None)
+        .expect("local compare");
+    assert_eq!(local.stats.n, 4);
+
+    // The comparative fingerprint of a compare report: its behavioral
+    // digest and the parsed delta blocks (run facts like workers/wall may
+    // legitimately differ between drivers).
+    let fingerprint = |json: &str| {
+        let v = parse(json).expect("compare report is valid JSON");
+        (
+            v.get("digest")
+                .and_then(Value::as_str)
+                .expect("digest")
+                .to_owned(),
+            format!("{:?}", v.get("deltas").expect("deltas")),
+            v.get("workload")
+                .and_then(|w| w.get("replicates"))
+                .and_then(Value::as_u64)
+                .expect("replicates"),
+        )
+    };
+    let want = fingerprint(&local.json);
+
+    // Cold server: submit the paired spec, fetch /compare.
+    let server = Server::bind("127.0.0.1:0", Some(2), Some(&cache_path))
+        .expect("bind")
+        .spawn()
+        .expect("spawn");
+    let client = Client::new(server.addr().to_string());
+    let first = client.submit(toml).expect("submit");
+    let view = client.wait(first, Duration::from_secs(120)).expect("wait");
+    assert_eq!(view.cells, 8, "2 sides x 4 shared seeds");
+    assert_eq!(view.simulated, 8, "cold cache simulates everything");
+    let served = client.compare(first).expect("compare");
+    assert_eq!(
+        fingerprint(&served),
+        want,
+        "served deltas must be bit-identical to the local compare"
+    );
+    client.shutdown().expect("shutdown");
+    server.join().expect("clean exit");
+
+    // Restart on the same cache log and resubmit: the comparison is
+    // assembled entirely from persisted cells — zero re-simulated.
+    let server = Server::bind("127.0.0.1:0", Some(2), Some(&cache_path))
+        .expect("rebind")
+        .spawn()
+        .expect("respawn");
+    let client = Client::new(server.addr().to_string());
+    let second = client.submit(toml).expect("resubmit after restart");
+    let view = client.wait(second, Duration::from_secs(120)).expect("wait");
+    assert_eq!(
+        view.simulated, 0,
+        "restart + resubmission must not simulate a single cell"
+    );
+    assert_eq!(view.served_without_simulation(), view.cells);
+    let served = client.compare(second).expect("compare after restart");
+    assert_eq!(
+        fingerprint(&served),
+        want,
+        "cache-served deltas are bit-identical to the local compare"
     );
     client.shutdown().expect("shutdown");
     server.join().expect("clean exit");
