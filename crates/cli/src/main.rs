@@ -10,11 +10,13 @@
 //! malec-cli record <spec.toml> [-o F.mtr]   record the scenario stream only
 //! malec-cli replay <F.mtr> [--config L] [--insts N] [--seed N]
 //! malec-cli presets                         list the built-in scenarios
-//! malec-cli serve [--addr A] [--cache F] [--jobs N]
-//!                                           run the batch service (blocking)
-//! malec-cli submit <spec.toml> [--addr A] [-o OUT] [--no-wait]
+//! malec-cli serve [--addr A] [--cache F] [--jobs N] [--fsync P]
+//!                 [--max-conns N] [--drain-timeout S] [--job-ttl S]
+//!                 [--faults SCHED]          run the batch service (blocking)
+//! malec-cli submit <spec.toml> [--addr A] [-o OUT] [--no-wait] [--retries N]
 //!                                           submit the spec to a server
-//! malec-cli status [JOB] [--addr A]         job status, or cache stats without JOB
+//! malec-cli status [JOB] [--addr A] [--retries N]
+//!                                           job status, or cache stats without JOB
 //! ```
 //!
 //! Exit status is nonzero on any error **and** on a replay-digest mismatch,
@@ -30,14 +32,15 @@ use malec_cli::compare::{compare_parsed_spec, delta_line};
 use malec_cli::run::{record_trace, run_spec_file};
 use malec_core::digest::digest;
 use malec_core::{ScenarioSource, Simulator};
-use malec_serve::client::Client;
-use malec_serve::server::{Server, DEFAULT_ADDR};
+use malec_serve::client::{Client, RetryPolicy};
+use malec_serve::server::{ServeOptions, Server, DEFAULT_ADDR};
 use malec_serve::spec::parse_spec;
+use malec_serve::{Faults, FsyncPolicy};
 use malec_trace::scenario::presets;
 use malec_types::SimConfig;
 
 fn usage() -> String {
-    "usage:\n  malec-cli run <spec.toml> [--jobs N]\n  malec-cli compare <spec.toml> [--jobs N] [--addr HOST:PORT] [-o report.json]\n  malec-cli record <spec.toml> [-o out.mtr]\n  malec-cli replay <trace.mtr> [--config LABEL] [--insts N] [--seed N] [--name NAME]\n  malec-cli presets\n  malec-cli serve [--addr HOST:PORT] [--cache FILE] [--jobs N]\n  malec-cli submit <spec.toml> [--addr HOST:PORT] [-o report.json] [--no-wait]\n  malec-cli status [JOB] [--addr HOST:PORT]\n\nThe replay digest folds the workload name; pass --name <scenario name>\n(the [scenario] name the trace was recorded under) to make it comparable\nwith the digests in a `run` report.\n\n`compare` pairs the spec's [compare] interfaces per shared replicate seed\nand reports deltas (mean ± paired CI, relative %, win/loss/tie at the\nspec's alpha); with --addr the spec is submitted to a server and the\ndeltas are assembled from its result cache instead of simulating locally.\n\n`serve` hosts the batch service (default address 127.0.0.1:4173); `submit`\nand `status` talk to it. --cache persists the result cache across\nrestarts; --jobs caps worker fan-out everywhere it appears."
+    "usage:\n  malec-cli run <spec.toml> [--jobs N]\n  malec-cli compare <spec.toml> [--jobs N] [--addr HOST:PORT] [-o report.json] [--retries N]\n  malec-cli record <spec.toml> [-o out.mtr]\n  malec-cli replay <trace.mtr> [--config LABEL] [--insts N] [--seed N] [--name NAME]\n  malec-cli presets\n  malec-cli serve [--addr HOST:PORT] [--cache FILE] [--jobs N] [--fsync always|on-close]\n                  [--max-conns N] [--drain-timeout SECS] [--job-ttl SECS] [--faults SCHED]\n  malec-cli submit <spec.toml> [--addr HOST:PORT] [-o report.json] [--no-wait] [--retries N]\n  malec-cli status [JOB] [--addr HOST:PORT] [--retries N]\n\nThe replay digest folds the workload name; pass --name <scenario name>\n(the [scenario] name the trace was recorded under) to make it comparable\nwith the digests in a `run` report.\n\n`compare` pairs the spec's [compare] interfaces per shared replicate seed\nand reports deltas (mean ± paired CI, relative %, win/loss/tie at the\nspec's alpha); with --addr the spec is submitted to a server and the\ndeltas are assembled from its result cache instead of simulating locally.\n\n`serve` hosts the batch service (default address 127.0.0.1:4173); `submit`\nand `status` talk to it. --cache persists the result cache across\nrestarts; --jobs caps worker fan-out everywhere it appears. --fsync sets\nthe cache-log durability policy; --max-conns sheds load above N concurrent\nconnections (503 + Retry-After); --job-ttl expires finished job records;\n--faults arms the deterministic failpoint schedule (`name@hit[:param];...`,\nalso read from MALEC_FAULTS) — testing only.\n\n--retries N retries transport failures and retryable statuses (408/429/5xx)\nwith capped exponential backoff, and resubmits a job whose cells failed\n(completed cells are cached, so only failed work is re-simulated)."
         .to_owned()
 }
 
@@ -165,11 +168,12 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
     let jobs: Option<usize> = take_flag(&mut args, "--jobs")?;
     let addr: Option<String> = take_flag(&mut args, "--addr")?;
     let out: Option<String> = take_flag(&mut args, "-o")?;
+    let retries: u32 = take_flag(&mut args, "--retries")?.unwrap_or(0);
     let [spec_path] = args.as_slice() else {
         return Err(usage());
     };
     if let Some(addr) = addr {
-        return cmd_compare_remote(spec_path, &addr, out);
+        return cmd_compare_remote(spec_path, &addr, out, retries);
     }
     let text = std::fs::read_to_string(spec_path).map_err(|e| format!("read {spec_path}: {e}"))?;
     let mut spec = parse_spec(&text).map_err(|e| format!("{spec_path}: {e}"))?;
@@ -209,14 +213,19 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
 /// `compare --addr`: submit the spec to a server and assemble the deltas
 /// from its cache-keyed per-replicate cells (a resubmitted spec compares
 /// without simulating a single cell).
-fn cmd_compare_remote(spec_path: &str, addr: &str, out: Option<String>) -> Result<(), String> {
+fn cmd_compare_remote(
+    spec_path: &str,
+    addr: &str,
+    out: Option<String>,
+    retries: u32,
+) -> Result<(), String> {
     let text = std::fs::read_to_string(spec_path).map_err(|e| format!("read {spec_path}: {e}"))?;
     // Parse + resolve locally first: a bad pairing should fail with the
     // parser's message before any network round trip.
     let spec = parse_spec(&text).map_err(|e| format!("{spec_path}: {e}"))?;
     spec.resolve_compare().map_err(|e| e.to_string())?;
 
-    let client = Client::new(addr.to_owned());
+    let client = Client::new(addr.to_owned()).with_retry(RetryPolicy::retries(retries));
     let job = client.submit(&text)?;
     println!(
         "submitted `{}` to {addr}: job {job} ({} vs {})",
@@ -228,7 +237,7 @@ fn cmd_compare_remote(spec_path: &str, addr: &str, out: Option<String>) -> Resul
             .as_ref()
             .map_or_else(|| "Base1ldst".to_owned(), |c| c.baseline.label()),
     );
-    let view = client.wait(job, Duration::from_secs(600))?;
+    let (job, view) = wait_with_resubmits(&client, &text, job, retries)?;
     let report = client.compare(job)?;
     let out_path = out.unwrap_or_else(|| spec.compare_out.clone());
     if let Some(parent) = Path::new(&out_path)
@@ -343,29 +352,81 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let addr: String = take_flag(&mut args, "--addr")?.unwrap_or_else(|| DEFAULT_ADDR.to_owned());
     let cache: Option<String> = take_flag(&mut args, "--cache")?;
     let jobs: Option<usize> = take_flag(&mut args, "--jobs")?;
+    let fsync: Option<FsyncPolicy> = take_flag(&mut args, "--fsync")?;
+    let max_conns: Option<usize> = take_flag(&mut args, "--max-conns")?;
+    let drain_timeout: Option<u64> = take_flag(&mut args, "--drain-timeout")?;
+    let job_ttl: Option<u64> = take_flag(&mut args, "--job-ttl")?;
+    let fault_schedule: Option<String> = take_flag(&mut args, "--faults")?;
     if !args.is_empty() {
         return Err(format!("unexpected arguments {args:?}\n{}", usage()));
     }
-    let server = Server::bind(addr.as_str(), jobs, cache.as_deref().map(Path::new))
-        .map_err(|e| format!("bind {addr}: {e}"))?;
+    // --faults overrides the MALEC_FAULTS environment variable; both parse
+    // the same `name@hit[:param];...` schedule.
+    let faults = match fault_schedule {
+        Some(s) => Faults::parse(&s).map_err(|e| e.to_string())?,
+        None => Faults::from_env().map_err(|e| e.to_string())?,
+    };
+    let armed = !faults.exhausted();
+    let defaults = ServeOptions::default();
+    let opts = ServeOptions {
+        workers: jobs,
+        cache_path: cache.as_deref().map(PathBuf::from),
+        fsync: fsync.unwrap_or(defaults.fsync),
+        faults,
+        max_connections: max_conns.unwrap_or(defaults.max_connections),
+        drain_timeout: drain_timeout.map_or(defaults.drain_timeout, Duration::from_secs),
+        job_ttl: job_ttl.map(Duration::from_secs).or(defaults.job_ttl),
+        ..defaults
+    };
+    let server = Server::bind_with(addr.as_str(), opts).map_err(|e| format!("bind {addr}: {e}"))?;
     let bound = server.local_addr().map_err(|e| e.to_string())?;
     println!(
         "malec-serve listening on {bound} ({} worker(s), cache {})",
         server.engine().workers(),
         cache.as_deref().unwrap_or("in-memory"),
     );
+    if armed {
+        println!("  WARNING: fault injection armed — not for production use");
+    }
     println!("  POST /v1/jobs          submit a TOML sweep spec");
     println!("  GET  /v1/jobs/<id>     job status");
     println!("  GET  /v1/jobs/<id>/report");
     println!("  GET  /v1/cache/stats   result-cache counters");
-    println!("  POST /v1/shutdown      drain and stop");
+    println!("  POST /v1/shutdown      drain and stop (?mode=abort skips the drain)");
     server.run().map_err(|e| e.to_string())
+}
+
+/// Waits for `job`; if it **fails** (a worker panic, say) and the retry
+/// budget allows, resubmits the spec — completed cells were cached, so a
+/// resubmission re-simulates only what actually failed. Returns the view
+/// of the job that reached `done`.
+fn wait_with_resubmits(
+    client: &Client,
+    text: &str,
+    job: u64,
+    retries: u32,
+) -> Result<(u64, malec_serve::JobView), String> {
+    let mut job = job;
+    let mut view = client.wait(job, Duration::from_secs(600))?;
+    let mut round = 0u32;
+    while view.state == "failed" {
+        let detail = view.error.as_deref().unwrap_or("unknown failure");
+        if round >= retries {
+            return Err(format!("job {job} failed: {detail}"));
+        }
+        round += 1;
+        eprintln!("malec-cli: job {job} failed ({detail}); resubmitting ({round}/{retries})");
+        job = client.submit(text)?;
+        view = client.wait(job, Duration::from_secs(600))?;
+    }
+    Ok((job, view))
 }
 
 fn cmd_submit(args: &[String]) -> Result<(), String> {
     let mut args = args.to_vec();
     let addr: String = take_flag(&mut args, "--addr")?.unwrap_or_else(|| DEFAULT_ADDR.to_owned());
     let out: Option<String> = take_flag(&mut args, "-o")?;
+    let retries: u32 = take_flag(&mut args, "--retries")?.unwrap_or(0);
     let no_wait = if let Some(i) = args.iter().position(|a| a == "--no-wait") {
         args.remove(i);
         true
@@ -380,7 +441,7 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
     // before any network round trip, and the report path comes from it.
     let spec = parse_spec(&text).map_err(|e| format!("{spec_path}: {e}"))?;
 
-    let client = Client::new(addr.clone());
+    let client = Client::new(addr.clone()).with_retry(RetryPolicy::retries(retries));
     let job = client.submit(&text)?;
     println!(
         "submitted `{}` to {addr}: job {job} ({} cells)",
@@ -392,7 +453,7 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
         return Ok(());
     }
 
-    let view = client.wait(job, Duration::from_secs(600))?;
+    let (job, view) = wait_with_resubmits(&client, &text, job, retries)?;
     let report = client.report(job)?;
     let out_path = out.unwrap_or_else(|| spec.out.clone());
     if let Some(parent) = Path::new(&out_path)
@@ -429,7 +490,8 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
 fn cmd_status(args: &[String]) -> Result<(), String> {
     let mut args = args.to_vec();
     let addr: String = take_flag(&mut args, "--addr")?.unwrap_or_else(|| DEFAULT_ADDR.to_owned());
-    let client = Client::new(addr.clone());
+    let retries: u32 = take_flag(&mut args, "--retries")?.unwrap_or(0);
+    let client = Client::new(addr.clone()).with_retry(RetryPolicy::retries(retries));
     match args.as_slice() {
         [] => {
             let stats = client.cache_stats()?;
@@ -448,16 +510,20 @@ fn cmd_status(args: &[String]) -> Result<(), String> {
                 .map_err(|_| format!("bad job id `{job}`\n{}", usage()))?;
             let view = client.status(job)?;
             println!(
-                "job {job} (`{}`): {} — {}/{} cells done ({} simulated, {} cached, {} coalesced, {} pending)",
+                "job {job} (`{}`): {} — {}/{} cells done ({} simulated, {} cached, {} coalesced, {} failed, {} pending)",
                 view.scenario,
                 view.state,
-                view.cells - view.pending,
+                view.cells - view.pending - view.failed,
                 view.cells,
                 view.simulated,
                 view.cached,
                 view.coalesced,
+                view.failed,
                 view.pending,
             );
+            if let Some(error) = &view.error {
+                println!("  first failure: {error}");
+            }
             Ok(())
         }
         _ => Err(usage()),

@@ -16,20 +16,36 @@
 //! record*:
 //!   key   u128
 //!   len   u32           — byte length of the summary encoding
+//!   sum   u64           — FNV-1a-64 over key ‖ len ‖ body
 //!   body  [u8; len]     — malec_core::digest::write_summary encoding
 //! ```
 //!
-//! On open, the log is replayed into memory; a trailing partial record
-//! (a crash mid-append) is dropped and the file truncated to the last
-//! complete record, so the log is always left appendable. A log with the
-//! wrong magic or version is refused rather than silently rebuilt —
-//! deleting a stale cache is an operator decision.
+//! On open, the log is replayed into memory. Recovery salvages the
+//! **longest valid prefix**: replay stops at the first record that is
+//! short (a crash mid-append), fails its checksum (a flipped byte), or
+//! does not decode, and the file is truncated there — every record before
+//! the damage is kept, everything from it on is dropped with a warning.
+//! Because each FNV-1a step is a bijection on the running state, any
+//! single corrupted byte inside a record is guaranteed to change its
+//! checksum, so a damaged record can never be served as a result. A log
+//! with the wrong magic or version is still refused rather than silently
+//! rebuilt — deleting a stale cache is an operator decision.
+//!
+//! Durability is a policy knob ([`FsyncPolicy`]): every append is written
+//! and flushed synchronously (a crash of *this process* never loses an
+//! acknowledged record), and `fsync` runs either per append (`always`) or
+//! once at graceful shutdown (`on-close`, the default — an OS crash can
+//! lose the page-cache tail, which recovery then truncates). A *failed*
+//! append — disk error, or the [`cache.append.torn`](crate::fault)
+//! failpoint — is rolled back in place (`set_len` to the last good byte)
+//! so a live server's log never accumulates mid-file damage.
 
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
-use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::io::{self, BufReader, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex};
+use std::str::FromStr;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use malec_core::digest::{read_summary, summary_to_bytes};
 use malec_core::RunSummary;
@@ -37,8 +53,60 @@ use malec_trace::Scenario;
 use malec_types::stable::{StableHasher, StableKey};
 use malec_types::SimConfig;
 
+use crate::fault::{FaultAction, Faults};
+
 const MAGIC: &[u8; 4] = b"MSRC";
-const VERSION: u8 = 1;
+const VERSION: u8 = 2;
+
+/// Recovers a poisoned log guard: a panicking worker thread must never
+/// wedge the cache log for the rest of the pool.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+fn fnv64(seed: u64, bytes: &[u8]) -> u64 {
+    bytes
+        .iter()
+        .fold(seed, |h, &b| (h ^ u64::from(b)).wrapping_mul(FNV_PRIME))
+}
+
+/// The per-record checksum: FNV-1a-64 over `key ‖ len ‖ body`.
+fn record_sum(key: u128, body: &[u8]) -> u64 {
+    let h = fnv64(FNV_OFFSET, &key.to_le_bytes());
+    let h = fnv64(h, &(body.len() as u32).to_le_bytes());
+    fnv64(h, body)
+}
+
+/// When the cache log reaches the platters, not just the page cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fsync` once at graceful shutdown. Appends are still written and
+    /// flushed synchronously, so a process crash loses nothing; an OS
+    /// crash can lose the page-cache tail, which recovery truncates. The
+    /// default.
+    #[default]
+    OnClose,
+    /// `fsync` after every append: durable against power loss, at a
+    /// per-record disk round trip.
+    Always,
+}
+
+impl FromStr for FsyncPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "always" => Ok(Self::Always),
+            "on-close" | "onclose" => Ok(Self::OnClose),
+            other => Err(format!(
+                "unknown fsync policy `{other}` (want `always` or `on-close`)"
+            )),
+        }
+    }
+}
 
 /// Version tag folded into every cache key. Bump when any [`StableKey`]
 /// encoding (or the summary codec) changes, so persisted logs from older
@@ -89,13 +157,23 @@ pub struct CacheStats {
     pub bytes_appended: u64,
 }
 
+/// The log file plus the high-water mark of its last known-good record
+/// boundary — the rollback point for failed appends.
+#[derive(Debug)]
+struct AppendFile {
+    file: File,
+    good_len: u64,
+}
+
 /// A shareable append handle to the cache log, locked independently of the
 /// in-memory map: the scheduler serializes a fresh summary and appends it
 /// **outside** the map mutex, so a disk flush never blocks concurrent
 /// claim-step lookups (or the stats endpoint).
 #[derive(Clone, Debug)]
 pub struct LogAppender {
-    file: Arc<Mutex<BufWriter<File>>>,
+    inner: Arc<Mutex<AppendFile>>,
+    fsync: FsyncPolicy,
+    faults: Arc<Faults>,
 }
 
 impl LogAppender {
@@ -104,15 +182,60 @@ impl LogAppender {
     ///
     /// # Errors
     ///
-    /// Propagates I/O errors from the log file.
+    /// Propagates I/O errors from the log file. A failed append — a real
+    /// short write, or the `cache.append.torn` failpoint — is rolled back
+    /// to the last good record boundary before the error returns, so the
+    /// live log never carries mid-file damage into later appends.
     pub fn append(&self, key: u128, summary: &RunSummary) -> io::Result<u64> {
         let body = summary_to_bytes(summary);
-        let mut log = self.file.lock().expect("log lock");
-        log.write_all(&key.to_le_bytes())?;
-        log.write_all(&(body.len() as u32).to_le_bytes())?;
-        log.write_all(&body)?;
-        log.flush()?;
-        Ok((16 + 4 + body.len()) as u64)
+        let mut rec = Vec::with_capacity(RECORD_HEADER + body.len());
+        rec.extend_from_slice(&key.to_le_bytes());
+        rec.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        rec.extend_from_slice(&record_sum(key, &body).to_le_bytes());
+        rec.extend_from_slice(&body);
+
+        let mut log = lock(&self.inner);
+        let written = match self.faults.check("cache.append.torn") {
+            Some(FaultAction::Torn { keep }) => {
+                let keep = (keep as usize).min(rec.len());
+                log.file.write_all(&rec[..keep]).and_then(|()| {
+                    Err(io::Error::other(
+                        "injected torn append (failpoint cache.append.torn)",
+                    ))
+                })
+            }
+            _ => log.file.write_all(&rec),
+        };
+        match written {
+            Ok(()) => {
+                if self.fsync == FsyncPolicy::Always {
+                    log.file.sync_data()?;
+                }
+                log.good_len += rec.len() as u64;
+                Ok(rec.len() as u64)
+            }
+            Err(e) => {
+                // Roll the torn bytes back; best-effort — if even the
+                // truncate fails, reopen-time recovery still salvages the
+                // prefix before the damage.
+                let good = log.good_len;
+                let _ = log
+                    .file
+                    .set_len(good)
+                    .and_then(|()| log.file.seek(SeekFrom::Start(good)));
+                Err(e)
+            }
+        }
+    }
+
+    /// Forces the log to stable storage (`fsync`). Graceful shutdown calls
+    /// this regardless of policy; `FsyncPolicy::Always` makes it a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `fsync` failure.
+    pub fn sync(&self) -> io::Result<()> {
+        lock(&self.inner).file.sync_all()
     }
 }
 
@@ -136,14 +259,30 @@ impl ResultCache {
         }
     }
 
-    /// Opens (or creates) a persisted cache at `path`, replaying any
-    /// existing log into memory.
+    /// Opens (or creates) a persisted cache at `path` with the default
+    /// durability policy and no fault injection — see
+    /// [`open_with`](Self::open_with).
     ///
     /// # Errors
     ///
     /// Propagates I/O errors; returns `InvalidData` if the file exists but
     /// is not a cache log of the supported version.
     pub fn open(path: &Path) -> io::Result<Self> {
+        Self::open_with(path, FsyncPolicy::default(), Faults::disarmed())
+    }
+
+    /// Opens (or creates) a persisted cache at `path`, replaying any
+    /// existing log into memory. Recovery keeps the longest valid record
+    /// prefix: the first short, checksum-failing, or undecodable record
+    /// stops the replay and the file is truncated there (a warning names
+    /// the byte offset and what was dropped).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; returns `InvalidData` if the file exists but
+    /// is not a cache log of the supported version (wrong magic/version is
+    /// *refused*, never auto-rebuilt).
+    pub fn open_with(path: &Path, fsync: FsyncPolicy, faults: Arc<Faults>) -> io::Result<Self> {
         if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
             std::fs::create_dir_all(parent)?;
         }
@@ -193,29 +332,30 @@ impl ResultCache {
                         }
                         // Clean EOF at a record boundary: the log is good.
                         Ok(None) => break,
-                        // A record cut short by a crash mid-append: keep
-                        // the prefix, drop the tail.
-                        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
-                        // Anything else is real corruption (bad lengths,
-                        // undecodable summaries), not a torn tail — refuse
-                        // rather than silently discarding the records
-                        // behind it.
+                        // Damage — a record cut short by a crash
+                        // mid-append, a checksum-failing flipped byte, or
+                        // an undecodable body. Salvage the valid prefix,
+                        // truncate the rest: a corrupt record must never
+                        // be served, and the records before it are known
+                        // good (each carries its own checksum).
                         Err(e) => {
-                            return Err(io::Error::new(
-                                io::ErrorKind::InvalidData,
-                                format!(
-                                    "{}: corrupt cache log at byte {good_end}: {e} \
-                                     (delete the file to rebuild)",
-                                    path.display()
-                                ),
-                            ));
+                            let dropped = file_len.saturating_sub(good_end);
+                            eprintln!(
+                                "malec-serve: cache log {}: {e} at byte {good_end}; \
+                                 keeping {} recovered entr{}, dropping {dropped} damaged byte{}",
+                                path.display(),
+                                map.len(),
+                                if map.len() == 1 { "y" } else { "ies" },
+                                if dropped == 1 { "" } else { "s" },
+                            );
+                            break;
                         }
                     }
                 }
             }
             file.set_len(good_end)?;
         }
-        file.seek(SeekFrom::End(0))?;
+        file.seek(SeekFrom::Start(good_end))?;
         let stats = CacheStats {
             entries: map.len() as u64,
             loaded: map.len() as u64,
@@ -224,7 +364,12 @@ impl ResultCache {
         Ok(Self {
             map,
             log: Some(LogAppender {
-                file: Arc::new(Mutex::new(BufWriter::new(file))),
+                inner: Arc::new(Mutex::new(AppendFile {
+                    file,
+                    good_len: good_end,
+                })),
+                fsync,
+                faults,
             }),
             path: Some(path.to_owned()),
             stats,
@@ -291,6 +436,20 @@ impl ResultCache {
         self.stats.coalesced += 1;
     }
 
+    /// Forces the persisted log to stable storage (no-op for an in-memory
+    /// cache). Graceful shutdown calls this so `FsyncPolicy::OnClose` gets
+    /// its one `fsync`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `fsync` failure.
+    pub fn sync(&self) -> io::Result<()> {
+        match &self.log {
+            Some(log) => log.sync(),
+            None => Ok(()),
+        }
+    }
+
     /// Current counters.
     pub fn stats(&self) -> CacheStats {
         self.stats
@@ -308,7 +467,13 @@ impl ResultCache {
 /// open (the torn-tail recovery then kicks in instead).
 const MAX_RECORD: usize = 1024 * 1024;
 
-/// Reads one log record; `Ok(None)` on clean EOF before the key.
+/// Bytes before a record's body: key `u128`, length `u32`, checksum `u64`.
+const RECORD_HEADER: usize = 16 + 4 + 8;
+
+/// Reads one log record, verifying its checksum; `Ok(None)` on clean EOF
+/// before the key. Every error return means "damage starts here" to the
+/// recovery loop — a short read, an absurd length, a checksum mismatch,
+/// and an undecodable body are all the same cut point.
 fn read_record(r: &mut impl Read) -> io::Result<Option<(u128, RunSummary, u64)>> {
     let mut key = [0u8; 16];
     match r.read_exact(&mut key) {
@@ -325,14 +490,21 @@ fn read_record(r: &mut impl Read) -> io::Result<Option<(u128, RunSummary, u64)>>
             format!("cache record length {len} exceeds {MAX_RECORD}"),
         ));
     }
+    let mut sum = [0u8; 8];
+    r.read_exact(&mut sum)?;
+    let sum = u64::from_le_bytes(sum);
     let mut body = vec![0u8; len];
     r.read_exact(&mut body)?;
+    let key = u128::from_le_bytes(key);
+    let want = record_sum(key, &body);
+    if sum != want {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("cache record checksum mismatch (stored {sum:#018x}, computed {want:#018x})"),
+        ));
+    }
     let summary = read_summary(&mut body.as_slice())?;
-    Ok(Some((
-        u128::from_le_bytes(key),
-        summary,
-        (16 + 4 + len) as u64,
-    )))
+    Ok(Some((key, summary, (RECORD_HEADER + len) as u64)))
 }
 
 #[cfg(test)]
@@ -466,5 +638,106 @@ mod tests {
         let err = ResultCache::open(&path).expect_err("must refuse");
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flipped_byte_mid_log_salvages_the_prefix() {
+        let path = tmp("flip");
+        std::fs::remove_file(&path).ok();
+        let a = sample(21);
+        {
+            let mut cache = ResultCache::open(&path).expect("open");
+            cache
+                .insert_persist(1, Arc::new(a.clone()))
+                .expect("insert");
+            cache
+                .insert_persist(2, Arc::new(sample(22)))
+                .expect("insert");
+            cache
+                .insert_persist(3, Arc::new(sample(23)))
+                .expect("insert");
+        }
+        // Flip one byte inside the SECOND record's body. Records are
+        // equal-sized here (same scenario shape), so locate it by arithmetic.
+        let mut bytes = std::fs::read(&path).expect("read");
+        let record = (bytes.len() - 5) / 3;
+        let victim = 5 + record + RECORD_HEADER + record / 2;
+        bytes[victim] ^= 0x40;
+        std::fs::write(&path, &bytes).expect("write corrupt log");
+
+        let mut cache = ResultCache::open(&path).expect("recovery, not refusal");
+        assert_eq!(cache.stats().loaded, 1, "records 2 and 3 dropped");
+        let got = cache.lookup(1).expect("record 1 salvaged");
+        assert_eq!(digest(&got), digest(&a), "salvaged record is intact");
+        assert!(cache.lookup(2).is_none(), "damaged record never served");
+        assert!(cache.lookup(3).is_none(), "records behind damage dropped");
+        cache
+            .insert_persist(4, Arc::new(sample(24)))
+            .expect("truncated log stays appendable");
+        drop(cache);
+        let cache = ResultCache::open(&path).expect("reopen");
+        assert_eq!(cache.stats().loaded, 2, "entry 1 + appended entry 4");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn injected_torn_append_rolls_back_and_log_stays_valid() {
+        let path = tmp("torn");
+        std::fs::remove_file(&path).ok();
+        let faults = Faults::disarmed();
+        faults.arm("cache.append.torn", 2, Some(11));
+        {
+            let mut cache =
+                ResultCache::open_with(&path, FsyncPolicy::Always, faults.clone()).expect("open");
+            cache
+                .insert_persist(1, Arc::new(sample(31)))
+                .expect("first append clean");
+            let err = cache
+                .insert_persist(2, Arc::new(sample(32)))
+                .expect_err("second append torn");
+            assert!(err.to_string().contains("injected torn append"), "{err}");
+            // In-memory entry survives the failed persist; the log rolled
+            // the 11 torn bytes back in place, so the next append lands on
+            // a clean boundary.
+            assert!(cache.lookup(2).is_some());
+            cache
+                .insert_persist(3, Arc::new(sample(33)))
+                .expect("append after rollback");
+        }
+        assert_eq!(faults.fired("cache.append.torn"), 1);
+        let mut cache = ResultCache::open(&path).expect("reopen");
+        assert_eq!(cache.stats().loaded, 2, "torn record 2 was rolled back");
+        assert!(cache.lookup(1).is_some());
+        assert!(cache.lookup(2).is_none(), "torn record is not on disk");
+        assert!(cache.lookup(3).is_some());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fsync_policy_parses() {
+        assert_eq!("always".parse::<FsyncPolicy>(), Ok(FsyncPolicy::Always));
+        assert_eq!("on-close".parse::<FsyncPolicy>(), Ok(FsyncPolicy::OnClose));
+        assert_eq!("onclose".parse::<FsyncPolicy>(), Ok(FsyncPolicy::OnClose));
+        assert!("sometimes".parse::<FsyncPolicy>().is_err());
+        assert_eq!(FsyncPolicy::default(), FsyncPolicy::OnClose);
+    }
+
+    #[test]
+    fn single_byte_flips_always_change_the_checksum() {
+        // The bijectivity argument behind the checksum: with identical
+        // subsequent bytes, flipping any single body byte flips the sum.
+        let body: Vec<u8> = (0u16..200).map(|i| (i % 251) as u8).collect();
+        let base = record_sum(99, &body);
+        for i in 0..body.len() {
+            for bit in 0..8 {
+                let mut flipped = body.clone();
+                flipped[i] ^= 1 << bit;
+                assert_ne!(
+                    record_sum(99, &flipped),
+                    base,
+                    "flip at byte {i} bit {bit} must change the sum"
+                );
+            }
+        }
     }
 }

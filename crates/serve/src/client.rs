@@ -1,17 +1,100 @@
 //! The client side of the v1 API: one round trip per call, JSON parsed
 //! into small typed views. `malec-cli submit` / `status` are thin wrappers
 //! over this module, and the integration tests drive servers through it.
+//!
+//! Every v1 request is **idempotent** — job submission is content-addressed
+//! (an identical resubmission dedups against the cache and any in-flight
+//! simulation), and status/report/shutdown are safe to repeat — so the
+//! client may retry any call. [`RetryPolicy`] retries connection failures,
+//! timeouts, and retryable statuses (408/429/5xx) with capped exponential
+//! backoff and deterministic jitter, honoring a server `Retry-After`.
 
 use std::time::{Duration, Instant};
 
 use crate::cache::CacheStats;
-use crate::http::request;
+use crate::http::request_meta;
 use crate::json::{parse, Value};
+
+/// Total per-request budget (connect + write + read).
+const REQUEST_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// When and how often to retry a failed call.
+///
+/// The delay before retry `n` (1-based) is drawn from the *equal jitter*
+/// scheme: half of `min(base * 2^(n-1), cap)` is fixed, the other half is a
+/// deterministic pseudo-random fraction keyed on the request path and
+/// attempt number — concurrent clients spread out, yet every run of the
+/// same workload backs off identically. A server-provided `Retry-After`
+/// overrides the computed delay.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = fail fast).
+    pub retries: u32,
+    /// First-retry backoff ceiling.
+    pub base: Duration,
+    /// Upper bound on any single backoff.
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: every failure surfaces immediately.
+    #[must_use]
+    pub fn none() -> Self {
+        Self {
+            retries: 0,
+            base: Duration::from_millis(100),
+            cap: Duration::from_secs(5),
+        }
+    }
+
+    /// `retries` retries with the standard backoff (100 ms base, 5 s cap).
+    #[must_use]
+    pub fn retries(retries: u32) -> Self {
+        Self {
+            retries,
+            ..Self::none()
+        }
+    }
+
+    /// The delay before retry `attempt` (1-based) of a call to `path`.
+    #[must_use]
+    pub fn backoff(&self, attempt: u32, path: &str) -> Duration {
+        let exp = attempt.min(20).saturating_sub(1);
+        let ceiling = self
+            .base
+            .saturating_mul(1u32 << exp.min(16))
+            .min(self.cap)
+            .max(Duration::from_millis(1));
+        let half = ceiling / 2;
+        // FNV-1a over (path, attempt): deterministic jitter in [0, half].
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in path.bytes().chain(attempt.to_le_bytes()) {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+        let jitter_ms = h % (half.as_millis().max(1) as u64 + 1);
+        half + Duration::from_millis(jitter_ms)
+    }
+}
+
+/// Whether a response status is worth retrying: the request never ran to
+/// completion (408 read deadline), the server shed load (429/503), or it
+/// failed internally (5xx). Client errors (other 4xx) are deterministic
+/// and retried never.
+fn retryable_status(status: u16) -> bool {
+    status == 408 || status == 429 || (500..600).contains(&status)
+}
 
 /// A client bound to one server address.
 #[derive(Clone, Debug)]
 pub struct Client {
     addr: String,
+    retry: RetryPolicy,
 }
 
 /// A client-side view of one job's status.
@@ -21,7 +104,7 @@ pub struct JobView {
     pub job: u64,
     /// Scenario name.
     pub scenario: String,
-    /// `"running"` or `"done"`.
+    /// `"running"`, `"done"`, or `"failed"`.
     pub state: String,
     /// Total cells.
     pub cells: u64,
@@ -31,18 +114,27 @@ pub struct JobView {
     pub cached: u64,
     /// Cells attached to a concurrent identical simulation.
     pub coalesced: u64,
+    /// Cells that failed (worker panic or injected fault).
+    pub failed: u64,
     /// Cells still queued or simulating.
     pub pending: u64,
     /// Replicates a CI target saved across the job's cell groups.
     pub replicates_saved: u64,
     /// Submit-to-done wall clock, once finished.
     pub wall_seconds: Option<f64>,
+    /// The first cell failure, when `state` is `"failed"`.
+    pub error: Option<String>,
 }
 
 impl JobView {
     /// Cells that completed without a simulation of their own.
     pub fn served_without_simulation(&self) -> u64 {
         self.cached + self.coalesced
+    }
+
+    /// Whether the job has reached a terminal state.
+    pub fn is_terminal(&self) -> bool {
+        self.state == "done" || self.state == "failed"
     }
 }
 
@@ -53,14 +145,51 @@ fn field(v: &Value, key: &str) -> Result<u64, String> {
 }
 
 impl Client {
-    /// A client for `addr` (`host:port`).
+    /// A client for `addr` (`host:port`), failing fast (no retries).
     pub fn new(addr: impl Into<String>) -> Self {
-        Self { addr: addr.into() }
+        Self {
+            addr: addr.into(),
+            retry: RetryPolicy::none(),
+        }
     }
 
+    /// The same client with a different retry policy.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// One call under the retry policy. Connection errors, timeouts, and
+    /// retryable statuses back off and retry; everything else returns on
+    /// the first attempt. A `Retry-After` header overrides the backoff.
     fn call(&self, method: &str, path: &str, body: &[u8]) -> Result<(u16, String), String> {
-        request(&self.addr, method, path, body)
-            .map_err(|e| format!("{method} {} at {}: {e}", path, self.addr))
+        let mut attempt = 0u32;
+        loop {
+            let outcome = request_meta(&self.addr, method, path, body, REQUEST_TIMEOUT);
+            let (fail, retry_after) = match &outcome {
+                Ok(resp) if !retryable_status(resp.status) => {
+                    return Ok((resp.status, resp.body.clone()))
+                }
+                Ok(resp) => (format!("server returned {}", resp.status), resp.retry_after),
+                Err(e) => (e.to_string(), None),
+            };
+            attempt += 1;
+            if attempt > self.retry.retries {
+                return match outcome {
+                    Ok(resp) => Ok((resp.status, resp.body)),
+                    Err(_) => Err(format!(
+                        "{method} {} at {}: {fail} ({attempt} attempt{})",
+                        path,
+                        self.addr,
+                        if attempt == 1 { "" } else { "s" }
+                    )),
+                };
+            }
+            let delay =
+                retry_after.map_or_else(|| self.retry.backoff(attempt, path), Duration::from_secs);
+            std::thread::sleep(delay);
+        }
     }
 
     fn call_json(&self, method: &str, path: &str, body: &[u8]) -> Result<Value, String> {
@@ -112,6 +241,8 @@ impl Client {
             simulated: field(&v, "simulated")?,
             cached: field(&v, "cached")?,
             coalesced: field(&v, "coalesced")?,
+            // Absent on pre-fault-tolerance servers; default rather than fail.
+            failed: v.get("failed").and_then(Value::as_u64).unwrap_or(0),
             pending: field(&v, "pending")?,
             // Absent on pre-replication servers; default rather than fail.
             replicates_saved: v
@@ -119,10 +250,17 @@ impl Client {
                 .and_then(Value::as_u64)
                 .unwrap_or(0),
             wall_seconds: v.get("wall_seconds").and_then(Value::as_f64),
+            error: v
+                .get("error")
+                .and_then(Value::as_str)
+                .map(str::to_owned)
+                .filter(|e| !e.is_empty()),
         })
     }
 
-    /// Polls until the job reports `done` (50 ms cadence).
+    /// Polls until the job reaches a terminal state — `done` *or* `failed`
+    /// (50 ms cadence). A failed job is returned as a view, not an error:
+    /// inspect [`JobView::state`] and [`JobView::error`].
     ///
     /// # Errors
     ///
@@ -131,7 +269,7 @@ impl Client {
         let deadline = Instant::now() + timeout;
         loop {
             let view = self.status(job)?;
-            if view.state == "done" {
+            if view.is_terminal() {
                 return Ok(view);
             }
             if Instant::now() >= deadline {
@@ -142,6 +280,41 @@ impl Client {
             }
             std::thread::sleep(Duration::from_millis(50));
         }
+    }
+
+    /// Submits `spec` and waits for `done`, resubmitting up to `resubmits`
+    /// times if the job **fails** (a worker panic, say). Resubmission is
+    /// cheap and safe: cells that completed before the failure were cached,
+    /// so each retry re-simulates only the cells that actually failed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the spec is rejected, the deadline passes, or
+    /// every submission fails.
+    pub fn run_to_completion(
+        &self,
+        spec: &str,
+        timeout: Duration,
+        resubmits: u32,
+    ) -> Result<JobView, String> {
+        let deadline = Instant::now() + timeout;
+        let mut last = String::new();
+        for round in 0..=resubmits {
+            let job = self.submit(spec)?;
+            let left = deadline.saturating_duration_since(Instant::now());
+            let view = self.wait(job, left)?;
+            if view.state == "done" {
+                return Ok(view);
+            }
+            last = view.error.unwrap_or_else(|| "unknown failure".to_owned());
+            if round < resubmits {
+                std::thread::sleep(self.retry.backoff(round + 1, "resubmit"));
+            }
+        }
+        Err(format!(
+            "job failed after {} submission(s): {last}",
+            u64::from(resubmits) + 1
+        ))
     }
 
     /// Fetches a finished job's report JSON (the `malec-cli run` schema).
@@ -271,6 +444,126 @@ mod tests {
             .expect_err("bad spec");
         assert!(err.contains("400"), "{err}");
         assert!(err.contains("phase"), "the parser message travels: {err}");
+        client.shutdown().expect("shutdown");
+        server.join().expect("clean exit");
+    }
+
+    fn faulty_server(arm: &[(&str, u64, Option<u64>)]) -> crate::server::ServerHandle {
+        let faults = crate::fault::Faults::disarmed();
+        for &(name, at, param) in arm {
+            faults.arm(name, at, param);
+        }
+        Server::bind_with(
+            "127.0.0.1:0",
+            crate::server::ServeOptions {
+                workers: Some(1),
+                faults,
+                ..crate::server::ServeOptions::default()
+            },
+        )
+        .expect("bind")
+        .spawn()
+        .expect("spawn")
+    }
+
+    #[test]
+    fn backoff_is_capped_deterministic_and_grows() {
+        let p = RetryPolicy::retries(8);
+        let d1 = p.backoff(1, "/v1/jobs");
+        let d2 = p.backoff(2, "/v1/jobs");
+        assert_eq!(d1, p.backoff(1, "/v1/jobs"), "same inputs, same delay");
+        assert_ne!(
+            p.backoff(1, "/v1/jobs"),
+            p.backoff(1, "/v1/healthz"),
+            "jitter separates concurrent callers"
+        );
+        assert!(d1 >= Duration::from_millis(50) && d1 <= Duration::from_millis(100));
+        assert!(d2 >= Duration::from_millis(100) && d2 <= Duration::from_millis(200));
+        for attempt in 1..40 {
+            assert!(p.backoff(attempt, "x") <= p.cap, "cap holds at {attempt}");
+        }
+    }
+
+    #[test]
+    fn retry_rides_out_an_injected_500() {
+        let server = faulty_server(&[("http.respond.500", 1, None)]);
+        let addr = server.addr().to_string();
+
+        // Fail-fast client sees the injected failure...
+        let err = Client::new(&addr).cache_stats().expect_err("500 surfaces");
+        assert!(err.contains("500"), "{err}");
+        // ...a retrying client rides it out. (The failpoint fires exactly
+        // once; only the first request is damaged.)
+        let server2 = faulty_server(&[("http.respond.500", 1, None)]);
+        let addr2 = server2.addr().to_string();
+        let client = Client::new(&addr2).with_retry(RetryPolicy::retries(2));
+        client.cache_stats().expect("retry recovers");
+
+        for a in [addr, addr2] {
+            Client::new(a).shutdown().expect("shutdown");
+        }
+        server.join().expect("clean exit");
+        server2.join().expect("clean exit");
+    }
+
+    #[test]
+    fn wait_is_terminal_on_failure_and_resubmission_completes() {
+        let server = faulty_server(&[("worker.panic", 1, None)]);
+        let client = Client::new(server.addr().to_string());
+
+        let job = client.submit(SPEC).expect("submit");
+        let view = client.wait(job, Duration::from_secs(60)).expect("wait");
+        assert_eq!(view.state, "failed", "wait returned on the failure");
+        assert_eq!(view.failed, 1);
+        assert!(
+            view.error
+                .as_deref()
+                .is_some_and(|e| e.starts_with("panic:")),
+            "{view:?}"
+        );
+
+        // The failure consumed the failpoint, so a resubmission completes —
+        // and the sibling cell that survived round one is served from cache.
+        let view = client
+            .wait(
+                client.submit(SPEC).expect("resubmit"),
+                Duration::from_secs(60),
+            )
+            .expect("wait");
+        assert_eq!(view.state, "done");
+        assert_eq!(
+            view.served_without_simulation(),
+            1,
+            "the surviving cell was reused, not re-simulated: {view:?}"
+        );
+
+        client.shutdown().expect("shutdown");
+        server.join().expect("clean exit");
+    }
+
+    #[test]
+    fn run_to_completion_recovers_from_a_worker_panic() {
+        let server = faulty_server(&[("worker.panic", 1, None)]);
+        let client = Client::new(server.addr().to_string());
+        let view = client
+            .run_to_completion(SPEC, Duration::from_secs(60), 1)
+            .expect("second submission completes");
+        assert_eq!(view.state, "done");
+        assert_eq!(view.pending, 0);
+        client.shutdown().expect("shutdown");
+        server.join().expect("clean exit");
+    }
+
+    #[test]
+    fn run_to_completion_gives_up_after_the_resubmit_budget() {
+        // Arm enough panics to defeat one resubmission.
+        let server = faulty_server(&[("worker.panic", 1, None), ("worker.panic", 3, None)]);
+        let client = Client::new(server.addr().to_string());
+        let err = client
+            .run_to_completion(SPEC, Duration::from_secs(60), 1)
+            .expect_err("both submissions fail");
+        assert!(err.contains("after 2 submission(s)"), "{err}");
+        assert!(err.contains("panic:"), "{err}");
         client.shutdown().expect("shutdown");
         server.join().expect("clean exit");
     }

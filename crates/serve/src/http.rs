@@ -12,10 +12,15 @@
 //! Limits are deliberate: 8 KiB per header line, 64 headers, 4 MiB bodies.
 //! A malformed or oversized request produces a clean error (the server
 //! turns it into `400`), never a panic or an unbounded allocation.
+//!
+//! Time is bounded too: [`read_request_deadline`] spends at most a fixed
+//! **total** budget reading one request, counted across every byte — a
+//! slow-loris client trickling one byte per socket-timeout window gets cut
+//! off at the deadline, not kept alive indefinitely by per-read timeouts.
 
 use std::io::{self, BufRead, BufReader, Read, Write};
-use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
 /// Maximum accepted header-line length.
 const MAX_LINE: usize = 8 * 1024;
@@ -30,8 +35,10 @@ const MAX_BODY: usize = 4 * 1024 * 1024;
 pub struct Request {
     /// Request method, uppercased by the client (`GET`, `POST`).
     pub method: String,
-    /// Request target (path only; the service ignores query strings).
+    /// Request target (path only, query string stripped).
     pub path: String,
+    /// The raw query string after `?` (empty when absent).
+    pub query: String,
     /// Request body (empty without a `Content-Length`).
     pub body: Vec<u8>,
 }
@@ -45,6 +52,16 @@ impl Request {
     pub fn body_utf8(&self) -> io::Result<&str> {
         std::str::from_utf8(&self.body)
             .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "body is not UTF-8"))
+    }
+
+    /// The value of query parameter `name` (`?name=value&...`), if present.
+    /// No percent-decoding — the v1 API's parameter values are plain
+    /// tokens (`mode=abort`).
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == name).then_some(v)
+        })
     }
 }
 
@@ -79,6 +96,37 @@ fn read_line(r: &mut impl BufRead) -> io::Result<String> {
     String::from_utf8(line).map_err(|_| bad("header line is not UTF-8"))
 }
 
+/// A [`Read`] adaptor enforcing one **total** deadline across every read:
+/// before each syscall the socket timeout is clamped to the time left, so
+/// the sum of waits — however the peer paces its bytes — cannot exceed the
+/// budget.
+struct DeadlineStream<'a> {
+    stream: &'a TcpStream,
+    deadline: Instant,
+}
+
+impl Read for DeadlineStream<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let remaining = self
+            .deadline
+            .checked_duration_since(Instant::now())
+            .filter(|d| !d.is_zero())
+            .ok_or_else(|| {
+                io::Error::new(io::ErrorKind::TimedOut, "request read deadline exceeded")
+            })?;
+        self.stream.set_read_timeout(Some(remaining))?;
+        (&mut self.stream).read(buf).map_err(|e| {
+            // Unix surfaces a socket read timeout as EAGAIN (`WouldBlock`);
+            // normalize so callers see one deadline error kind.
+            if e.kind() == io::ErrorKind::WouldBlock {
+                io::Error::new(io::ErrorKind::TimedOut, "request read deadline exceeded")
+            } else {
+                e
+            }
+        })
+    }
+}
+
 /// Parses one request off `stream`.
 ///
 /// # Errors
@@ -87,7 +135,27 @@ fn read_line(r: &mut impl BufRead) -> io::Result<String> {
 /// propagates socket errors.
 pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
     let mut reader = BufReader::new(stream);
-    let request_line = read_line(&mut reader)?;
+    parse_request(&mut reader)
+}
+
+/// Parses one request off `stream`, spending at most `deadline` in total —
+/// the slow-loris defense: a client may not hold a handler thread longer
+/// than the budget no matter how slowly it drips bytes.
+///
+/// # Errors
+///
+/// Returns `TimedOut` when the budget runs out, `InvalidData` for
+/// malformed or over-limit requests, and propagates socket errors.
+pub fn read_request_deadline(stream: &TcpStream, deadline: Duration) -> io::Result<Request> {
+    let mut reader = BufReader::new(DeadlineStream {
+        stream,
+        deadline: Instant::now() + deadline,
+    });
+    parse_request(&mut reader)
+}
+
+fn parse_request(reader: &mut impl BufRead) -> io::Result<Request> {
+    let request_line = read_line(reader)?;
     let mut parts = request_line.split_whitespace();
     let method = parts
         .next()
@@ -96,7 +164,10 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
     let target = parts
         .next()
         .ok_or_else(|| bad("request line lacks a target"))?;
-    let path = target.split('?').next().unwrap_or(target).to_owned();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_owned(), q.to_owned()),
+        None => (target.to_owned(), String::new()),
+    };
     if !path.starts_with('/') {
         return Err(bad("request target must be an absolute path"));
     }
@@ -105,11 +176,16 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
     // One extra iteration beyond MAX_HEADERS for the terminating blank
     // line, so a request with exactly MAX_HEADERS headers is accepted.
     for _ in 0..=MAX_HEADERS {
-        let line = read_line(&mut reader)?;
+        let line = read_line(reader)?;
         if line.is_empty() {
             let mut body = vec![0u8; content_length.unwrap_or(0)];
             reader.read_exact(&mut body)?;
-            return Ok(Request { method, path, body });
+            return Ok(Request {
+                method,
+                path,
+                query,
+                body,
+            });
         }
         let Some((name, value)) = line.split_once(':') else {
             return Err(bad("malformed header"));
@@ -151,8 +227,10 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         409 => "Conflict",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Unknown",
     }
 }
@@ -168,17 +246,55 @@ pub fn write_response(
     content_type: &str,
     body: &[u8],
 ) -> io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    write_response_with(stream, status, content_type, &[], body)
+}
+
+/// [`write_response`] with extra headers (e.g. `Retry-After` on a `503`).
+/// Header names and values must be token-clean; the caller controls them.
+///
+/// # Errors
+///
+/// Propagates socket errors.
+pub fn write_response_with(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
         status,
         reason(status),
         content_type,
         body.len(),
     );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body)?;
     stream.flush()
 }
+
+/// One complete HTTP response as the client sees it.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// UTF-8 body.
+    pub body: String,
+    /// A parsed `Retry-After: <seconds>` header, if the server sent one
+    /// (the saturation gate does, on `503`).
+    pub retry_after: Option<u64>,
+}
+
+/// Default per-call network timeout for [`request`].
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(60);
 
 /// Performs one HTTP round trip against `addr` and returns
 /// `(status, body)`.
@@ -193,10 +309,28 @@ pub fn request(
     path: &str,
     body: &[u8],
 ) -> io::Result<(u16, String)> {
-    let mut stream = TcpStream::connect(addr)?;
+    request_meta(addr, method, path, body, CLIENT_TIMEOUT).map(|r| (r.status, r.body))
+}
+
+/// [`request`] with an explicit timeout (applied to connect, reads, and
+/// writes separately) and response metadata — the retry layer needs the
+/// `Retry-After` header, not just the status.
+///
+/// # Errors
+///
+/// Propagates connection and socket errors; returns `InvalidData` for a
+/// malformed response.
+pub fn request_meta(
+    addr: impl ToSocketAddrs,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    timeout: Duration,
+) -> io::Result<Response> {
+    let mut stream = connect_timeout(addr, timeout)?;
     // A batch API must never hang a client forever on a wedged peer.
-    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(60)))?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
     let head = format!(
         "{method} {path} HTTP/1.1\r\nHost: malec-serve\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         body.len(),
@@ -213,6 +347,7 @@ pub fn request(
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| bad(format!("bad status line `{status_line}`")))?;
     let mut content_length: Option<usize> = None;
+    let mut retry_after: Option<u64> = None;
     let mut headers_ended = false;
     for _ in 0..=MAX_HEADERS {
         let line = read_line(&mut reader)?;
@@ -227,6 +362,10 @@ pub fn request(
                     return Err(bad("response too large"));
                 }
                 content_length = Some(len);
+            } else if name.eq_ignore_ascii_case("retry-after") {
+                // Only the delta-seconds form; an unparsable value (the
+                // HTTP-date form) is ignored, not an error.
+                retry_after = value.trim().parse().ok();
             }
         }
     }
@@ -249,7 +388,27 @@ pub fn request(
         }
     };
     let body = String::from_utf8(body).map_err(|_| bad("response body is not UTF-8"))?;
-    Ok((status, body))
+    Ok(Response {
+        status,
+        body,
+        retry_after,
+    })
+}
+
+/// `TcpStream::connect` with a timeout (std only offers it per
+/// `SocketAddr`, so resolve first and try each address).
+fn connect_timeout(addr: impl ToSocketAddrs, timeout: Duration) -> io::Result<TcpStream> {
+    let mut last: Option<io::Error> = None;
+    let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+    for a in addrs {
+        match TcpStream::connect_timeout(&a, timeout) {
+            Ok(s) => return Ok(s),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(last.unwrap_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+    }))
 }
 
 #[cfg(test)]
@@ -303,6 +462,71 @@ mod tests {
         let addr = spawn_echo();
         let (_, body) = request(addr, "GET", "/v1/jobs/3?verbose=1", b"").expect("request");
         assert!(body.starts_with("GET /v1/jobs/3 "), "{body}");
+    }
+
+    #[test]
+    fn query_params_parse() {
+        let req = Request {
+            method: "POST".into(),
+            path: "/v1/shutdown".into(),
+            query: "mode=abort&x=1".into(),
+            body: Vec::new(),
+        };
+        assert_eq!(req.query_param("mode"), Some("abort"));
+        assert_eq!(req.query_param("x"), Some("1"));
+        assert_eq!(req.query_param("absent"), None);
+        assert_eq!(req.query_param("abort"), None, "values are not keys");
+    }
+
+    #[test]
+    fn slow_loris_is_cut_at_the_total_deadline() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("accept");
+            let started = std::time::Instant::now();
+            let err = read_request_deadline(&stream, Duration::from_millis(200))
+                .expect_err("dripped request must time out");
+            (err, started.elapsed())
+        });
+        // Drip a valid-looking request one byte at a time, each byte well
+        // within any per-read socket timeout — only a *total* deadline
+        // stops this.
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        for b in b"GET /v1/healthz HTTP/1.1\r\n" {
+            if stream.write_all(&[*b]).is_err() {
+                break; // server hung up at the deadline
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        let (err, elapsed) = server.join().expect("server thread");
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut, "{err}");
+        assert!(
+            elapsed < Duration::from_secs(2),
+            "deadline must fire promptly, took {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn extra_headers_reach_the_client() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("accept");
+            read_request(&mut stream).ok();
+            write_response_with(
+                &mut stream,
+                503,
+                "application/json",
+                &[("Retry-After", "7")],
+                b"{\"error\": \"saturated\"}",
+            )
+            .ok();
+        });
+        let resp = request_meta(addr, "GET", "/", b"", Duration::from_secs(5)).expect("round trip");
+        assert_eq!(resp.status, 503);
+        assert_eq!(resp.retry_after, Some(7));
+        assert!(resp.body.contains("saturated"));
     }
 
     #[test]

@@ -21,7 +21,11 @@
 //! * [`cache`] — stable 128-bit cell keys ([`malec_types::stable`]) and the
 //!   append-only persisted result cache;
 //! * [`scheduler`] — the [`Engine`]: job queue, persistent worker pool,
-//!   in-flight deduplication of concurrent identical cells;
+//!   in-flight deduplication of concurrent identical cells, panic-safe
+//!   workers that fail the cell instead of shrinking the pool;
+//! * [`fault`] — deterministic fault injection: named failpoints that fire
+//!   at exact hit counts under a seeded schedule, so every failure test is
+//!   reproducible;
 //! * [`http`] / [`json`] — just enough protocol, hand-rolled on
 //!   `std::net::TcpListener` (this build environment has no network
 //!   crates, following the precedent of the hand-rolled TOML parser);
@@ -56,6 +60,7 @@
 
 pub mod cache;
 pub mod client;
+pub mod fault;
 pub mod http;
 pub mod json;
 pub mod report;
@@ -64,8 +69,9 @@ pub mod server;
 pub mod spec;
 pub mod toml;
 
-pub use cache::{cache_key, CacheStats, ResultCache};
-pub use client::{Client, JobView};
+pub use cache::{cache_key, CacheStats, FsyncPolicy, ResultCache};
+pub use client::{Client, JobView, RetryPolicy};
+pub use fault::{FaultAction, Faults};
 pub use scheduler::{Engine, JobId, JobStatus, Provenance};
 pub use server::{Server, ServerHandle, DEFAULT_ADDR};
 pub use spec::{parse_spec, SweepSpec};

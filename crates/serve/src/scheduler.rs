@@ -25,32 +25,78 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::io;
-use std::path::Path;
+use std::panic::AssertUnwindSafe;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use malec_core::compare::{paired_converged, Alpha, CompareStats};
 use malec_core::parallel::worker_count;
 use malec_core::stats::{replicate_seed, ReplicateStats};
 use malec_core::{RunSummary, ScenarioSource, Simulator};
 use malec_trace::Scenario;
+use malec_types::error::Failure;
 use malec_types::SimConfig;
 
-use crate::cache::{cache_key, CacheStats, ResultCache};
+use crate::cache::{cache_key, CacheStats, FsyncPolicy, ResultCache};
+use crate::fault::{FaultAction, Faults};
 use crate::report::{render, render_compare, CellResult, CompareReportMeta, ReportMeta};
 use crate::spec::SweepSpec;
 
 /// Server-side job identifier.
 pub type JobId = u64;
 
-/// Finished jobs retained for status/report queries. Beyond this, the
-/// oldest finished jobs are evicted at submit time (their results stay in
-/// the cache; only the per-job bookkeeping goes), so a long-lived server's
-/// memory is bounded by its workload, not its uptime. Evicted ids answer
-/// like unknown ids.
+/// Default for [`EngineOptions::retain_done`]: terminal jobs retained for
+/// status/report queries. Beyond this, the oldest terminal jobs are
+/// evicted at submit time (their results stay in the cache; only the
+/// per-job bookkeeping goes), so a long-lived server's memory is bounded
+/// by its workload, not its uptime. Evicted ids answer like unknown ids.
 const MAX_RETAINED_DONE: usize = 256;
+
+/// Recovers a poisoned guard. A worker panic (real or injected) unwinds
+/// through `catch_unwind`, but if it happened to hold a lock, the other
+/// workers must keep going — every structure here stays consistent because
+/// mutations are single assignments or counter bumps, never multi-step
+/// invariants left half-done.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Construction knobs for an [`Engine`]. `Default` matches what
+/// `Engine::new(None, None)` always did: fan-out workers, in-memory
+/// cache, no fault injection, 256 retained terminal jobs, no TTL.
+#[derive(Clone, Debug)]
+pub struct EngineOptions {
+    /// Pool threads (`None`: the sweep fan-out [`worker_count`]).
+    pub workers: Option<usize>,
+    /// Cache-log path (`None`: in-memory cache).
+    pub cache_path: Option<PathBuf>,
+    /// When the cache log reaches stable storage.
+    pub fsync: FsyncPolicy,
+    /// Failpoint registry (disarmed in production).
+    pub faults: Arc<Faults>,
+    /// Terminal jobs retained for status/report queries before the oldest
+    /// are evicted at submit time.
+    pub retain_done: usize,
+    /// Additionally expire terminal jobs this long after they settle
+    /// (`None`: count-based eviction only).
+    pub job_ttl: Option<Duration>,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        Self {
+            workers: None,
+            cache_path: None,
+            fsync: FsyncPolicy::default(),
+            faults: Faults::disarmed(),
+            retain_done: MAX_RETAINED_DONE,
+            job_ttl: None,
+        }
+    }
+}
 
 /// How a finished cell got its summary.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -89,6 +135,18 @@ struct Group {
     saved: u32,
 }
 
+/// One cell slot's lifecycle.
+enum CellState {
+    /// Queued or simulating.
+    Pending,
+    /// Finished with a summary, by the recorded path.
+    Done(Arc<RunSummary>, Provenance),
+    /// The simulation failed (a worker panic). The job reports `failed`
+    /// with this payload; a resubmission re-runs only the failed cells —
+    /// their siblings are already cached.
+    Failed(Failure),
+}
+
 /// One submitted spec and its per-cell progress. `cells` and `units` grow
 /// in lockstep when a CI-targeted group is extended by one replicate.
 struct Job {
@@ -96,7 +154,7 @@ struct Job {
     scenario: Arc<Scenario>,
     /// `(config index, replicate index)` of each cell slot.
     units: Vec<(usize, u32)>,
-    cells: Vec<Option<(Arc<RunSummary>, Provenance)>>,
+    cells: Vec<CellState>,
     groups: Vec<Group>,
     /// Explicit `[compare]` pairing `(baseline group, candidate group,
     /// alpha)`: under a `ci_target` these two groups stop **jointly**
@@ -104,27 +162,69 @@ struct Job {
     pair: Option<(usize, usize, Alpha)>,
     started: Instant,
     wall_seconds: Option<f64>,
+    /// When the job settled (all cells terminal) — the TTL clock.
+    settled_at: Option<Instant>,
 }
 
 impl Job {
     fn done(&self) -> bool {
-        self.cells.iter().all(Option::is_some)
+        self.cells.iter().all(|c| matches!(c, CellState::Done(..)))
+    }
+
+    fn failed(&self) -> bool {
+        self.cells.iter().any(|c| matches!(c, CellState::Failed(_)))
+    }
+
+    /// No cell is pending: every slot is `Done` or `Failed`. (A job is
+    /// reported `failed` as soon as one cell fails — fast-fail lets the
+    /// client resubmit immediately — but it *settles*, for TTL and drain
+    /// purposes, only when its in-flight siblings also land.)
+    fn settled(&self) -> bool {
+        !self.cells.iter().any(|c| matches!(c, CellState::Pending))
+    }
+
+    fn state(&self) -> &'static str {
+        if self.failed() {
+            "failed"
+        } else if self.done() {
+            "done"
+        } else {
+            "running"
+        }
+    }
+
+    fn first_error(&self) -> Option<&Failure> {
+        self.cells.iter().find_map(|c| match c {
+            CellState::Failed(f) => Some(f),
+            _ => None,
+        })
     }
 
     fn count(&self, p: Provenance) -> usize {
         self.cells
             .iter()
-            .filter(|c| matches!(c, Some((_, q)) if *q == p))
+            .filter(|c| matches!(c, CellState::Done(_, q) if *q == p))
+            .count()
+    }
+
+    fn count_failed(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| matches!(c, CellState::Failed(_)))
             .count()
     }
 
     /// This config group's finished replicate summaries, in replicate
-    /// order; `None` while any planned replicate is still pending.
+    /// order; `None` while any planned replicate is still pending (or
+    /// failed — a failed replicate never aggregates and never extends).
     fn group_replicates(&self, config: usize) -> Option<Vec<Arc<RunSummary>>> {
         let mut reps: Vec<(u32, Arc<RunSummary>)> = Vec::new();
         for (&(c, r), cell) in self.units.iter().zip(&self.cells) {
             if c == config {
-                reps.push((r, cell.as_ref()?.0.clone()));
+                match cell {
+                    CellState::Done(s, _) => reps.push((r, Arc::clone(s))),
+                    CellState::Pending | CellState::Failed(_) => return None,
+                }
             }
         }
         reps.sort_unstable_by_key(|&(r, _)| r);
@@ -133,6 +233,14 @@ impl Job {
 
     fn replicates_saved(&self) -> u32 {
         self.groups.iter().map(|g| g.saved).sum()
+    }
+
+    /// Records settlement (idempotently) for the wall clock and TTL.
+    fn note_settled(&mut self) {
+        if self.settled() && self.settled_at.is_none() {
+            self.settled_at = Some(Instant::now());
+            self.wall_seconds = Some(self.started.elapsed().as_secs_f64());
+        }
     }
 }
 
@@ -143,7 +251,7 @@ pub struct JobStatus {
     pub id: JobId,
     /// Scenario name of the submitted spec.
     pub scenario: String,
-    /// `"running"` or `"done"`.
+    /// `"running"`, `"done"`, or `"failed"`.
     pub state: &'static str,
     /// Total cells.
     pub cells: usize,
@@ -153,6 +261,8 @@ pub struct JobStatus {
     pub cached: usize,
     /// Cells that attached to a concurrent identical simulation.
     pub coalesced: usize,
+    /// Cells whose simulation failed (see [`JobStatus::error`]).
+    pub failed: usize,
     /// Cells still queued or simulating.
     pub pending: usize,
     /// Replicates the CI target saved across all cell groups so far.
@@ -160,6 +270,8 @@ pub struct JobStatus {
     /// Wall-clock seconds from submit to completion (`None` while
     /// running).
     pub wall_seconds: Option<f64>,
+    /// The first failed cell's `kind: detail` payload, if any.
+    pub error: Option<String>,
 }
 
 impl JobStatus {
@@ -191,6 +303,11 @@ struct EngineInner {
     stop: AtomicBool,
     next_job: AtomicU64,
     workers: usize,
+    faults: Arc<Faults>,
+    retain_done: usize,
+    job_ttl: Option<Duration>,
+    /// Workers respawned after a panic escaped the per-cell guard.
+    respawns: AtomicU64,
 }
 
 /// The engine: owns the cache, the jobs, and the worker pool. Cheap to
@@ -203,17 +320,31 @@ pub struct Engine {
 impl Engine {
     /// Builds an engine with `workers` pool threads (defaulting to the
     /// sweep fan-out [`worker_count`]) over an in-memory or persisted
-    /// cache.
+    /// cache — [`with_options`](Self::with_options) with everything else
+    /// defaulted.
     ///
     /// # Errors
     ///
     /// Propagates cache-log open errors.
     pub fn new(workers: Option<usize>, cache_path: Option<&Path>) -> io::Result<Self> {
-        let cache = match cache_path {
-            Some(p) => ResultCache::open(p)?,
+        Self::with_options(EngineOptions {
+            workers,
+            cache_path: cache_path.map(Path::to_owned),
+            ..EngineOptions::default()
+        })
+    }
+
+    /// Builds an engine from explicit [`EngineOptions`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates cache-log open errors.
+    pub fn with_options(opts: EngineOptions) -> io::Result<Self> {
+        let cache = match &opts.cache_path {
+            Some(p) => ResultCache::open_with(p, opts.fsync, Arc::clone(&opts.faults))?,
             None => ResultCache::in_memory(),
         };
-        let workers = workers.unwrap_or_else(worker_count).max(1);
+        let workers = opts.workers.unwrap_or_else(worker_count).max(1);
         let inner = Arc::new(EngineInner {
             cache: Mutex::new(cache),
             in_flight: Mutex::new(HashMap::new()),
@@ -223,11 +354,15 @@ impl Engine {
             stop: AtomicBool::new(false),
             next_job: AtomicU64::new(1),
             workers,
+            faults: opts.faults,
+            retain_done: opts.retain_done.max(1),
+            job_ttl: opts.job_ttl,
+            respawns: AtomicU64::new(0),
         });
         let handles = (0..workers)
             .map(|_| {
                 let inner = Arc::clone(&inner);
-                std::thread::spawn(move || worker_loop(&inner))
+                std::thread::spawn(move || worker_guard(&inner))
             })
             .collect();
         Ok(Self {
@@ -239,6 +374,17 @@ impl Engine {
     /// Pool size.
     pub fn workers(&self) -> usize {
         self.inner.workers
+    }
+
+    /// Workers respawned after a panic escaped the per-cell guard (0 in a
+    /// healthy process).
+    pub fn respawns(&self) -> u64 {
+        self.inner.respawns.load(Ordering::Relaxed)
+    }
+
+    /// This engine's failpoint registry.
+    pub fn faults(&self) -> &Arc<Faults> {
+        &self.inner.faults
     }
 
     /// Shards `spec` into per-cell units — one per `(config, replicate)`
@@ -267,7 +413,7 @@ impl Engine {
             }
         }
         let job = Job {
-            cells: vec![None; units.len()],
+            cells: (0..units.len()).map(|_| CellState::Pending).collect(),
             units: unit_map,
             groups: spec
                 .configs
@@ -291,49 +437,69 @@ impl Engine {
             spec,
             started: Instant::now(),
             wall_seconds: None,
+            settled_at: None,
         };
         {
-            let mut jobs = self.inner.jobs.lock().expect("jobs lock");
+            let mut jobs = lock(&self.inner.jobs);
             jobs.insert(id, job);
-            let mut done: Vec<JobId> = jobs
-                .iter()
-                .filter(|(_, j)| j.done())
-                .map(|(&k, _)| k)
-                .collect();
-            if done.len() > MAX_RETAINED_DONE {
-                done.sort_unstable();
-                for k in &done[..done.len() - MAX_RETAINED_DONE] {
-                    jobs.remove(k);
-                }
-            }
         }
+        self.expire_terminal();
         {
-            let mut q = self.inner.queue.lock().expect("queue lock");
+            let mut q = lock(&self.inner.queue);
             q.extend(units);
         }
         self.inner.available.notify_all();
         id
     }
 
+    /// Evicts expired terminal jobs: any settled longer than the TTL ago,
+    /// then the oldest beyond the retention count. Runs at every submit;
+    /// results stay in the cache — only per-job bookkeeping goes, and
+    /// evicted ids answer like unknown ids.
+    pub fn expire_terminal(&self) {
+        let mut jobs = lock(&self.inner.jobs);
+        if let Some(ttl) = self.inner.job_ttl {
+            let now = Instant::now();
+            jobs.retain(|_, j| match j.settled_at {
+                Some(at) => now.duration_since(at) < ttl,
+                None => true,
+            });
+        }
+        let mut terminal: Vec<JobId> = jobs
+            .iter()
+            .filter(|(_, j)| j.settled())
+            .map(|(&k, _)| k)
+            .collect();
+        if terminal.len() > self.inner.retain_done {
+            terminal.sort_unstable();
+            for k in &terminal[..terminal.len() - self.inner.retain_done] {
+                jobs.remove(k);
+            }
+        }
+    }
+
     /// The current status of `job`, or `None` for an unknown id.
     pub fn job_status(&self, job: JobId) -> Option<JobStatus> {
-        let jobs = self.inner.jobs.lock().expect("jobs lock");
+        let jobs = lock(&self.inner.jobs);
         let j = jobs.get(&job)?;
         let simulated = j.count(Provenance::Simulated);
         let cached = j.count(Provenance::Cached);
         let coalesced = j.count(Provenance::Coalesced);
-        let finished = simulated + cached + coalesced;
+        let failed = j.count_failed();
+        let finished = simulated + cached + coalesced + failed;
         Some(JobStatus {
             id: job,
             scenario: j.spec.scenario.name.clone(),
-            state: if j.done() { "done" } else { "running" },
+            state: j.state(),
             cells: j.cells.len(),
             simulated,
             cached,
             coalesced,
+            failed,
             pending: j.cells.len() - finished,
             replicates_saved: j.replicates_saved() as usize,
             wall_seconds: j.wall_seconds,
+            error: j.first_error().map(Failure::to_string),
         })
     }
 
@@ -345,7 +511,7 @@ impl Engine {
         if status.state != "done" {
             return Some(Err(status));
         }
-        let jobs = self.inner.jobs.lock().expect("jobs lock");
+        let jobs = lock(&self.inner.jobs);
         let j = jobs.get(&job)?;
         // One report row per config group: replicate 0 carries the
         // single-seed columns (the legacy seed path), the stats block the
@@ -402,7 +568,7 @@ impl Engine {
         if status.state != "done" {
             return Some(Err(CompareError::Running(status)));
         }
-        let jobs = self.inner.jobs.lock().expect("jobs lock");
+        let jobs = lock(&self.inner.jobs);
         let j = jobs.get(&job)?;
         let resolved = match j.spec.resolve_compare() {
             Ok(r) => r,
@@ -438,30 +604,55 @@ impl Engine {
 
     /// Current cache counters.
     pub fn cache_stats(&self) -> CacheStats {
-        self.inner.cache.lock().expect("cache lock").stats()
+        lock(&self.inner.cache).stats()
     }
 
     /// The cache-log path, if the cache is persisted.
     pub fn cache_path(&self) -> Option<std::path::PathBuf> {
-        self.inner
-            .cache
-            .lock()
-            .expect("cache lock")
-            .path()
-            .map(Path::to_owned)
+        lock(&self.inner.cache).path().map(Path::to_owned)
+    }
+
+    /// Forces the cache log to stable storage (the graceful-shutdown
+    /// flush; no-op for an in-memory cache).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `fsync` failure.
+    pub fn sync_cache(&self) -> io::Result<()> {
+        lock(&self.inner.cache).sync()
+    }
+
+    /// Waits until every job settles (no cell pending — done or failed) or
+    /// `deadline` elapses; returns whether everything settled. The drain
+    /// half of graceful shutdown: the caller stops *submitting* first, so
+    /// the pool runs the backlog dry.
+    pub fn drain(&self, deadline: Duration) -> bool {
+        let until = Instant::now() + deadline;
+        loop {
+            let settled = lock(&self.inner.jobs).values().all(Job::settled);
+            if settled {
+                return true;
+            }
+            if Instant::now() >= until {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
     }
 
     /// Stops the pool after the current units finish and joins every
     /// worker. Queued-but-unstarted units are dropped; their jobs stay
-    /// `running` forever, which only matters at process exit.
+    /// `running` forever, which only matters at process exit (drain first
+    /// for a graceful stop).
     pub fn shutdown(&self) {
         self.inner.stop.store(true, Ordering::SeqCst);
         self.inner.available.notify_all();
-        let mut handles = self.handles.lock().expect("handles lock");
+        let mut handles = lock(&self.handles);
         for h in handles.drain(..) {
             // Report rather than re-panic: shutdown also runs from Drop,
             // and a panic inside Drop during unwinding aborts the process
-            // with no diagnostic.
+            // with no diagnostic. (With the respawn guard in place a
+            // worker handle only errors if the *guard itself* panicked.)
             if h.join().is_err() {
                 eprintln!("malec-serve: a worker thread panicked; its cells stay unfinished");
             }
@@ -475,17 +666,46 @@ impl Drop for Engine {
     }
 }
 
+/// The outer guard every pool thread runs under: a panic that escapes
+/// [`worker_loop`] — i.e. one *outside* the per-cell `catch_unwind`, which
+/// should never happen but must not silently shrink the pool — is caught
+/// here and the loop re-entered in place (same thread, same handle, so
+/// [`Engine::shutdown`] still joins it).
+fn worker_guard(inner: &EngineInner) {
+    loop {
+        match std::panic::catch_unwind(AssertUnwindSafe(|| worker_loop(inner))) {
+            Ok(()) => return, // clean stop
+            Err(_) => {
+                inner.respawns.fetch_add(1, Ordering::Relaxed);
+                eprintln!(
+                    "malec-serve: worker panicked outside the cell guard; respawning in place"
+                );
+            }
+        }
+    }
+}
+
 fn worker_loop(inner: &EngineInner) {
     loop {
+        // The loop-level failpoint sits BEFORE the queue pop: a panic here
+        // exercises the respawn guard without orphaning a popped unit.
+        if let Some(FaultAction::Panic) = inner.faults.check("worker.loop.panic") {
+            panic!("injected worker-loop panic (failpoint worker.loop.panic)");
+        }
         let unit = {
-            let mut q = inner.queue.lock().expect("queue lock");
+            let mut q = lock(&inner.queue);
             loop {
                 if inner.stop.load(Ordering::SeqCst) {
                     return;
                 }
                 match q.pop_front() {
                     Some(unit) => break unit,
-                    None => q = inner.available.wait(q).expect("queue lock"),
+                    None => {
+                        q = inner
+                            .available
+                            .wait(q)
+                            .unwrap_or_else(PoisonError::into_inner);
+                    }
                 }
             }
         };
@@ -511,8 +731,8 @@ fn process(inner: &EngineInner, unit: WorkUnit) {
     let claim = {
         // Lock order: cache before in_flight, here and in the completion
         // path below.
-        let mut cache = inner.cache.lock().expect("cache lock");
-        let mut in_flight = inner.in_flight.lock().expect("in_flight lock");
+        let mut cache = lock(&inner.cache);
+        let mut in_flight = lock(&inner.in_flight);
         match cache.lookup(key) {
             Some(summary) => Claim::Hit(summary),
             None => match in_flight.get_mut(&key) {
@@ -533,17 +753,45 @@ fn process(inner: &EngineInner, unit: WorkUnit) {
         Claim::Hit(summary) => finish_cell(inner, unit.job, unit.cell, summary, Provenance::Cached),
         Claim::Parked => {}
         Claim::Run => {
-            let summary = Simulator::new(unit.config.clone())
-                .run_source(
-                    &ScenarioSource::Scenario((*unit.scenario).clone()),
-                    unit.insts,
-                    replicate_seed(unit.seed, unit.replicate),
-                )
-                .expect("generator sources cannot fail");
-            let summary = Arc::new(summary);
+            inner.faults.check_delay("engine.cell.slow");
+            // The per-cell panic guard: a panicking simulation (real bug
+            // or the worker.panic failpoint) fails this cell — and every
+            // waiter parked on it — with the panic payload, instead of
+            // killing the worker thread.
+            let simulated = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                if let Some(FaultAction::Panic) = inner.faults.check("worker.panic") {
+                    panic!("injected worker panic (failpoint worker.panic)");
+                }
+                Simulator::new(unit.config.clone())
+                    .run_source(
+                        &ScenarioSource::Scenario((*unit.scenario).clone()),
+                        unit.insts,
+                        replicate_seed(unit.seed, unit.replicate),
+                    )
+                    .expect("generator sources cannot fail")
+            }));
+            let summary = match simulated {
+                Ok(summary) => Arc::new(summary),
+                Err(payload) => {
+                    // Release the claim first: a resubmitted cell must be
+                    // able to start a fresh simulation, not park behind a
+                    // claim nobody will ever finish.
+                    let waiters = lock(&inner.in_flight).remove(&key).unwrap_or_default();
+                    let failure = Failure::panic(panic_detail(payload.as_ref()));
+                    eprintln!(
+                        "malec-serve: cell simulation panicked ({}); job {} cell {} failed",
+                        failure.detail, unit.job, unit.cell
+                    );
+                    fail_cell(inner, unit.job, unit.cell, failure.clone());
+                    for (job, cell) in waiters {
+                        fail_cell(inner, job, cell, failure.clone());
+                    }
+                    return;
+                }
+            };
             let (waiters, appender) = {
-                let mut cache = inner.cache.lock().expect("cache lock");
-                let mut in_flight = inner.in_flight.lock().expect("in_flight lock");
+                let mut cache = lock(&inner.cache);
+                let mut in_flight = lock(&inner.in_flight);
                 cache.insert(key, Arc::clone(&summary));
                 (in_flight.remove(&key).unwrap_or_default(), cache.appender())
             };
@@ -552,9 +800,10 @@ fn process(inner: &EngineInner, unit: WorkUnit) {
             // in memory, so no other worker can race this append.
             if let Some(appender) = appender {
                 match appender.append(key, &summary) {
-                    Ok(bytes) => inner.cache.lock().expect("cache lock").note_appended(bytes),
+                    Ok(bytes) => lock(&inner.cache).note_appended(bytes),
                     // The in-memory entry took effect; losing persistence
-                    // costs warm restarts, not correctness.
+                    // costs warm restarts, not correctness. (A torn append
+                    // was already rolled back in place by the appender.)
                     Err(e) => eprintln!("malec-serve: cache append failed: {e}"),
                 }
             }
@@ -578,6 +827,30 @@ fn process(inner: &EngineInner, unit: WorkUnit) {
     }
 }
 
+/// Renders a caught panic payload as the human-readable failure detail.
+fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Marks one cell failed (idempotently — a cell can only fail out of
+/// `Pending`) and settles the job if that was its last outstanding cell.
+fn fail_cell(inner: &EngineInner, job: JobId, cell: usize, failure: Failure) {
+    let mut jobs = lock(&inner.jobs);
+    let Some(j) = jobs.get_mut(&job) else {
+        return;
+    };
+    if matches!(j.cells[cell], CellState::Pending) {
+        j.cells[cell] = CellState::Failed(failure);
+    }
+    j.note_settled();
+}
+
 fn finish_cell(
     inner: &EngineInner,
     job: JobId,
@@ -586,22 +859,22 @@ fn finish_cell(
     provenance: Provenance,
 ) {
     let new_units = {
-        let mut jobs = inner.jobs.lock().expect("jobs lock");
+        let mut jobs = lock(&inner.jobs);
         let Some(j) = jobs.get_mut(&job) else {
             return;
         };
-        j.cells[cell] = Some((summary, provenance));
+        if matches!(j.cells[cell], CellState::Pending) {
+            j.cells[cell] = CellState::Done(summary, provenance);
+        }
         let (config_idx, _) = j.units[cell];
         let new_units = extend_after_finish(j, job, config_idx);
-        if j.done() && j.wall_seconds.is_none() {
-            j.wall_seconds = Some(j.started.elapsed().as_secs_f64());
-        }
+        j.note_settled();
         new_units
     };
     // Enqueue outside the jobs lock (lock order everywhere: jobs before
     // queue is never held; queue is only ever taken alone).
     if !new_units.is_empty() {
-        let mut q = inner.queue.lock().expect("queue lock");
+        let mut q = lock(&inner.queue);
         q.extend(new_units);
         drop(q);
         inner.available.notify_all();
@@ -685,7 +958,7 @@ fn push_unit(j: &mut Job, job: JobId, config_idx: usize) -> WorkUnit {
     let replicate = j.groups[config_idx].planned;
     j.groups[config_idx].planned += 1;
     j.units.push((config_idx, replicate));
-    j.cells.push(None);
+    j.cells.push(CellState::Pending);
     WorkUnit {
         job,
         cell: j.cells.len() - 1,
@@ -903,6 +1176,163 @@ mod tests {
         let n = status.cells / 2;
         assert!(report.contains(&format!("\"replicates\": {n}")), "{report}");
         assert!(report.contains(&format!("\"replicates_saved\": {}", 16 - n)));
+        engine.shutdown();
+    }
+
+    fn wait_settled(engine: &Engine, job: JobId) -> JobStatus {
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            let status = engine.job_status(job).expect("job exists");
+            if status.pending == 0 {
+                return status;
+            }
+            assert!(Instant::now() < deadline, "job {job} never settled");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn injected_cell_panic_fails_the_job_and_resubmission_recovers() {
+        let faults = Faults::disarmed();
+        // The first simulated cell panics; every later cell is clean.
+        faults.arm("worker.panic", 1, None);
+        let engine = Engine::with_options(EngineOptions {
+            workers: Some(1), // serial: the panic lands on cell 0
+            faults: faults.clone(),
+            ..EngineOptions::default()
+        })
+        .expect("engine");
+        let spec = parse_spec(SPEC).expect("spec");
+        let first = engine.submit(spec.clone());
+        let status = wait_settled(&engine, first);
+        assert_eq!(status.state, "failed");
+        assert_eq!(status.failed, 1);
+        assert_eq!(status.simulated, 1, "the sibling cell still finished");
+        let error = status.error.expect("failed job carries its error");
+        assert!(error.starts_with("panic:"), "{error}");
+        assert!(error.contains("injected worker panic"), "{error}");
+        assert!(status.wall_seconds.is_some(), "settled jobs have a clock");
+        assert!(
+            matches!(engine.job_report(first), Some(Err(s)) if s.state == "failed"),
+            "no report for a failed job"
+        );
+
+        // Idempotent resubmission: the failed cell re-simulates, the
+        // finished sibling is a cache hit — and the pool is intact (the
+        // panic was caught per-cell, no respawn needed).
+        let second = engine.submit(spec);
+        let status = wait_settled(&engine, second);
+        assert_eq!(status.state, "done");
+        assert_eq!((status.simulated, status.cached), (1, 1));
+        assert_eq!(engine.respawns(), 0);
+        assert!(faults.exhausted());
+        engine.shutdown();
+    }
+
+    #[test]
+    fn panicking_cell_fails_parked_waiters_too() {
+        let faults = Faults::disarmed();
+        faults.arm("worker.panic", 1, None);
+        let engine = Engine::with_options(EngineOptions {
+            workers: Some(4),
+            faults: faults.clone(),
+            // Slow the doomed cell so the overlapping submissions park on
+            // its in-flight claim before it panics.
+            ..EngineOptions::default()
+        })
+        .expect("engine");
+        faults.arm("engine.cell.slow", 1, Some(150));
+        let spec = parse_spec(
+            "[scenario]\nmode = \"preset\"\npreset = \"store_burst\"\n\
+             [sweep]\nconfigs = [\"MALEC\"]\ninsts = 2000\nseed = 5\n",
+        )
+        .expect("spec");
+        let a = engine.submit(spec.clone());
+        std::thread::sleep(Duration::from_millis(40));
+        let b = engine.submit(spec.clone());
+        let sa = wait_settled(&engine, a);
+        let sb = wait_settled(&engine, b);
+        assert_eq!(sa.state, "failed");
+        assert_eq!(
+            sb.state, "failed",
+            "a waiter parked on the panicking cell fails with it"
+        );
+        assert!(sb.error.expect("waiter error").contains("injected"));
+
+        // Both resubmit cleanly: the claim was released with the failure.
+        let c = engine.submit(spec);
+        assert_eq!(wait_settled(&engine, c).state, "done");
+        engine.shutdown();
+    }
+
+    #[test]
+    fn loop_panic_respawns_the_worker_and_work_continues() {
+        let faults = Faults::disarmed();
+        faults.arm("worker.loop.panic", 2, None);
+        let engine = Engine::with_options(EngineOptions {
+            workers: Some(1), // the sole worker must die and come back
+            faults: faults.clone(),
+            ..EngineOptions::default()
+        })
+        .expect("engine");
+        let spec = parse_spec(SPEC).expect("spec");
+        let job = engine.submit(spec);
+        let status = wait_done(&engine, job);
+        assert_eq!(status.simulated, 2, "work completes despite the crash");
+        assert_eq!(engine.respawns(), 1, "the pool healed itself");
+        assert!(faults.exhausted());
+        engine.shutdown();
+    }
+
+    #[test]
+    fn terminal_jobs_expire_by_count_and_ttl() {
+        let engine = Engine::with_options(EngineOptions {
+            workers: Some(2),
+            retain_done: 2,
+            job_ttl: Some(Duration::from_millis(60)),
+            ..EngineOptions::default()
+        })
+        .expect("engine");
+        let spec = parse_spec(SPEC).expect("spec");
+        let ids: Vec<JobId> = (0..4).map(|_| engine.submit(spec.clone())).collect();
+        for &id in &ids {
+            wait_done(&engine, id);
+        }
+        // Count-based eviction: only the newest `retain_done` survive a
+        // sweep.
+        engine.expire_terminal();
+        assert!(engine.job_status(ids[0]).is_none(), "oldest evicted");
+        assert!(engine.job_status(ids[1]).is_none());
+        assert!(engine.job_status(ids[2]).is_some());
+        assert!(engine.job_status(ids[3]).is_some());
+        // TTL eviction: past the deadline everything terminal goes.
+        std::thread::sleep(Duration::from_millis(90));
+        engine.expire_terminal();
+        for &id in &ids {
+            assert!(engine.job_status(id).is_none(), "job {id} outlived its TTL");
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn drain_waits_for_inflight_work() {
+        let faults = Faults::disarmed();
+        faults.arm("engine.cell.slow", 1, Some(120));
+        let engine = Engine::with_options(EngineOptions {
+            workers: Some(2),
+            faults,
+            ..EngineOptions::default()
+        })
+        .expect("engine");
+        let spec = parse_spec(SPEC).expect("spec");
+        let job = engine.submit(spec);
+        assert!(
+            engine.drain(Duration::from_secs(30)),
+            "drain must outwait the slowed cell"
+        );
+        let status = engine.job_status(job).expect("drained job retained");
+        assert_eq!(status.state, "done");
+        assert_eq!(status.pending, 0);
         engine.shutdown();
     }
 

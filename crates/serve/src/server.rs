@@ -8,42 +8,114 @@
 //! | `/v1/jobs/<id>/report`    | GET    | finished job's report (`run` JSON schema) |
 //! | `/v1/jobs/<id>/compare`   | GET    | paired delta report (`compare` schema)    |
 //! | `/v1/cache/stats`         | GET    | result-cache counters                     |
-//! | `/v1/healthz`             | GET    | liveness probe                            |
-//! | `/v1/shutdown`            | POST   | drain workers and stop accepting          |
+//! | `/v1/healthz`             | GET    | liveness probe (+ pool health counters)   |
+//! | `/v1/shutdown`            | POST   | graceful drain + stop (`?mode=abort` to skip the drain) |
 //!
 //! Submissions are asynchronous: `POST /v1/jobs` returns as soon as the
 //! spec is sharded into the queue, and clients poll the status endpoint.
 //! Each connection carries one request (`Connection: close`); connections
 //! are handled on their own threads, so slow clients never block the
 //! accept loop or each other.
+//!
+//! The request lifecycle is bounded end to end: at most
+//! [`ServeOptions::max_connections`] handlers run at once (excess
+//! connections get `503` + `Retry-After` without being read), each request
+//! must arrive within [`ServeOptions::request_deadline`] **total** (the
+//! slow-loris bound), and writes carry [`ServeOptions::io_timeout`].
+//! Shutdown defaults to graceful: stop accepting, let in-flight jobs run
+//! to completion (bounded by [`ServeOptions::drain_timeout`]), fsync the
+//! cache log, exit. `POST /v1/shutdown?mode=abort` skips the drain.
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
-use crate::cache::CacheStats;
-use crate::http::{read_request, write_response, Request};
+use crate::cache::{CacheStats, FsyncPolicy};
+use crate::fault::{FaultAction, Faults};
+use crate::http::{read_request_deadline, write_response, write_response_with, Request};
 use crate::report::esc;
-use crate::scheduler::{CompareError, Engine, JobStatus};
+use crate::scheduler::{CompareError, Engine, EngineOptions, JobStatus};
 use crate::spec::parse_spec;
 
 /// The default address `malec-cli serve` binds and its clients target.
 pub const DEFAULT_ADDR: &str = "127.0.0.1:4173";
+
+/// Construction knobs for a [`Server`]. `Default` keeps the engine knobs
+/// of [`EngineOptions`] and adds the request-lifecycle bounds.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Pool threads (`None`: the sweep fan-out).
+    pub workers: Option<usize>,
+    /// Cache-log path (`None`: in-memory cache).
+    pub cache_path: Option<PathBuf>,
+    /// When the cache log reaches stable storage.
+    pub fsync: FsyncPolicy,
+    /// Failpoint registry (disarmed in production).
+    pub faults: Arc<Faults>,
+    /// Concurrent connection handlers; excess connections are answered
+    /// `503` + `Retry-After: 1` without reading the request.
+    pub max_connections: usize,
+    /// Total budget for reading one request off the wire — however slowly
+    /// the client drips bytes (the slow-loris bound).
+    pub request_deadline: Duration,
+    /// Socket write timeout for responses.
+    pub io_timeout: Duration,
+    /// How long a graceful shutdown waits for in-flight jobs to settle
+    /// before stopping anyway.
+    pub drain_timeout: Duration,
+    /// Terminal jobs retained for status queries (count-based eviction).
+    pub retain_done: usize,
+    /// Terminal-job expiry TTL (`None`: count-based eviction only).
+    pub job_ttl: Option<Duration>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        let engine = EngineOptions::default();
+        Self {
+            workers: None,
+            cache_path: None,
+            fsync: engine.fsync,
+            faults: engine.faults,
+            max_connections: 64,
+            request_deadline: Duration::from_secs(10),
+            io_timeout: Duration::from_secs(60),
+            drain_timeout: Duration::from_secs(30),
+            retain_done: engine.retain_done,
+            job_ttl: engine.job_ttl,
+        }
+    }
+}
+
+/// How the accept loop was asked to stop.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ShutdownMode {
+    /// Stop accepting, wait for in-flight jobs (bounded), flush the cache.
+    Drain,
+    /// Stop immediately; queued units are dropped (results already in the
+    /// cache survive — appends are synchronous).
+    Abort,
+}
 
 /// A bound, ready-to-run service.
 pub struct Server {
     listener: TcpListener,
     engine: Arc<Engine>,
     stop: Arc<AtomicBool>,
+    /// `true` once a `?mode=abort` shutdown was requested.
+    abort: Arc<AtomicBool>,
+    opts: ServeOptions,
 }
 
 impl Server {
     /// Binds `addr` and builds the engine (`workers` pool threads over an
-    /// optionally persisted cache). Use port `0` for an ephemeral port and
-    /// read it back with [`local_addr`](Self::local_addr).
+    /// optionally persisted cache) with every other option defaulted. Use
+    /// port `0` for an ephemeral port and read it back with
+    /// [`local_addr`](Self::local_addr).
     ///
     /// # Errors
     ///
@@ -53,12 +125,37 @@ impl Server {
         workers: Option<usize>,
         cache_path: Option<&Path>,
     ) -> io::Result<Self> {
+        Self::bind_with(
+            addr,
+            ServeOptions {
+                workers,
+                cache_path: cache_path.map(Path::to_owned),
+                ..ServeOptions::default()
+            },
+        )
+    }
+
+    /// Binds `addr` with explicit [`ServeOptions`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind and cache-open errors.
+    pub fn bind_with(addr: impl ToSocketAddrs, opts: ServeOptions) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
-        let engine = Arc::new(Engine::new(workers, cache_path)?);
+        let engine = Arc::new(Engine::with_options(EngineOptions {
+            workers: opts.workers,
+            cache_path: opts.cache_path.clone(),
+            fsync: opts.fsync,
+            faults: Arc::clone(&opts.faults),
+            retain_done: opts.retain_done,
+            job_ttl: opts.job_ttl,
+        })?);
         Ok(Self {
             listener,
             engine,
             stop: Arc::new(AtomicBool::new(false)),
+            abort: Arc::new(AtomicBool::new(false)),
+            opts,
         })
     }
 
@@ -76,8 +173,10 @@ impl Server {
         &self.engine
     }
 
-    /// Serves until a `POST /v1/shutdown` arrives, then drains the worker
-    /// pool and returns. Connection handlers run on their own threads.
+    /// Serves until a `POST /v1/shutdown` arrives, then stops: gracefully
+    /// by default — drain in-flight jobs (bounded by the drain timeout),
+    /// flush the cache log to disk, join the pool — or immediately under
+    /// `?mode=abort`. Connection handlers run on their own threads.
     ///
     /// # Errors
     ///
@@ -85,6 +184,7 @@ impl Server {
     /// with an HTTP status and do not stop the server).
     pub fn run(self) -> io::Result<()> {
         let addr = self.local_addr()?;
+        let active = Arc::new(AtomicUsize::new(0));
         loop {
             if self.stop.load(Ordering::SeqCst) {
                 break;
@@ -103,30 +203,65 @@ impl Server {
                     continue;
                 }
             };
-            // A silent or wedged client must not park its handler thread
-            // forever (the client side sets the same 60 s bounds).
-            stream
-                .set_read_timeout(Some(std::time::Duration::from_secs(60)))
-                .ok();
-            stream
-                .set_write_timeout(Some(std::time::Duration::from_secs(60)))
-                .ok();
-            // Every accepted connection gets a handler — even ones racing a
+            stream.set_write_timeout(Some(self.opts.io_timeout)).ok();
+            // The saturation gate: when every handler slot is taken, shed
+            // the connection with a retryable 503 *without reading it* — a
+            // saturated server must spend no parsing work on load it is
+            // refusing. The response goes out on its own thread so a slow
+            // receiver cannot block the accept loop either.
+            let slot = SlotGuard::claim(&active, self.opts.max_connections);
+            let Some(slot) = slot else {
+                std::thread::spawn(move || {
+                    let mut stream = stream;
+                    write_response_with(
+                        &mut stream,
+                        503,
+                        "application/json",
+                        &[("Retry-After", "1")],
+                        b"{\n  \"error\": \"server saturated, retry shortly\"\n}\n",
+                    )
+                    .ok();
+                });
+                continue;
+            };
+            // Every admitted connection gets a handler — even ones racing a
             // shutdown, so a real client caught in the race still receives
             // an HTTP response instead of a bare closed socket (the
             // shutdown wake connection's handler just fails its read and
             // exits).
             let engine = Arc::clone(&self.engine);
             let stop = Arc::clone(&self.stop);
+            let abort = Arc::clone(&self.abort);
+            let deadline = self.opts.request_deadline;
             std::thread::spawn(move || {
+                let _slot = slot;
                 let mut stream = stream;
-                handle_connection(&mut stream, &engine, &stop, addr);
+                handle_connection(&mut stream, &engine, &stop, &abort, addr, deadline);
             });
             if self.stop.load(Ordering::SeqCst) {
                 break;
             }
         }
+        if self.abort.load(Ordering::SeqCst) {
+            eprintln!("malec-serve: abort shutdown; dropping queued work");
+        } else {
+            // Graceful drain: no new submissions can arrive (the accept
+            // loop is done), so the pool runs the backlog dry — bounded,
+            // because a wedged cell must not hold the process hostage.
+            if !self.engine.drain(self.opts.drain_timeout) {
+                eprintln!(
+                    "malec-serve: drain timed out after {:?}; stopping with work pending",
+                    self.opts.drain_timeout
+                );
+            }
+        }
         self.engine.shutdown();
+        // The one fsync FsyncPolicy::OnClose promises. Under Always it is
+        // a cheap no-op; under abort it still costs nothing and saves what
+        // the page cache holds.
+        if let Err(e) = self.engine.sync_cache() {
+            eprintln!("malec-serve: cache fsync at shutdown failed: {e}");
+        }
         Ok(())
     }
 
@@ -165,21 +300,66 @@ impl ServerHandle {
     }
 }
 
+/// One claimed handler slot; dropping it frees the slot.
+struct SlotGuard(Arc<AtomicUsize>);
+
+impl SlotGuard {
+    /// Claims a slot if fewer than `max` are taken.
+    fn claim(active: &Arc<AtomicUsize>, max: usize) -> Option<Self> {
+        // fetch_update never overshoots, so a burst of connections cannot
+        // momentarily exceed the cap the way fetch_add/fetch_sub would.
+        active
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                (n < max).then_some(n + 1)
+            })
+            .ok()
+            .map(|_| Self(Arc::clone(active)))
+    }
+}
+
+impl Drop for SlotGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 fn handle_connection(
     stream: &mut TcpStream,
     engine: &Engine,
     stop: &AtomicBool,
+    abort: &AtomicBool,
     self_addr: SocketAddr,
+    deadline: Duration,
 ) {
-    let request = match read_request(stream) {
+    // Failpoint: stall before reading, so a test can hold this handler's
+    // slot (or trip the client's timeout) deterministically.
+    engine.faults().check_delay("http.read.stall");
+    let request = match read_request_deadline(stream, deadline) {
         Ok(r) => r,
         Err(e) => {
-            respond_error(stream, 400, &e.to_string());
+            let status = if e.kind() == io::ErrorKind::TimedOut {
+                408
+            } else {
+                400
+            };
+            respond_error(stream, status, &e.to_string());
             return;
         }
     };
-    let shutting_down = route(stream, engine, &request);
-    if shutting_down {
+    // Failpoint: answer with a 500 before routing — the retryable server
+    // error the client's backoff is built for.
+    if let Some(FaultAction::Error) = engine.faults().check("http.respond.500") {
+        respond_error(
+            stream,
+            500,
+            "injected server error (failpoint http.respond.500)",
+        );
+        return;
+    }
+    if let Some(mode) = route(stream, engine, &request) {
+        if mode == ShutdownMode::Abort {
+            abort.store(true, Ordering::SeqCst);
+        }
         stop.store(true, Ordering::SeqCst);
         // The accept loop is parked in accept(); poke it awake so it
         // observes the flag and exits. A listener bound to the unspecified
@@ -197,8 +377,9 @@ fn handle_connection(
     }
 }
 
-/// Dispatches one request; returns `true` for a shutdown request.
-fn route(stream: &mut TcpStream, engine: &Engine, request: &Request) -> bool {
+/// Dispatches one request; returns the shutdown mode for a shutdown
+/// request.
+fn route(stream: &mut TcpStream, engine: &Engine, request: &Request) -> Option<ShutdownMode> {
     let path = request.path.as_str();
     match (request.method.as_str(), path) {
         ("POST", "/v1/jobs") => handle_submit(stream, engine, request),
@@ -206,10 +387,38 @@ fn route(stream: &mut TcpStream, engine: &Engine, request: &Request) -> bool {
             let body = cache_stats_json(&engine.cache_stats(), engine);
             respond_json(stream, 200, &body);
         }
-        ("GET", "/v1/healthz") => respond_json(stream, 200, "{\n  \"ok\": true\n}\n"),
+        ("GET", "/v1/healthz") => {
+            let body = format!(
+                "{{\n  \"ok\": true,\n  \"workers\": {},\n  \"respawns\": {},\n  \"faults_fired\": {}\n}}\n",
+                engine.workers(),
+                engine.respawns(),
+                engine.faults().fired_total(),
+            );
+            respond_json(stream, 200, &body);
+        }
         ("POST", "/v1/shutdown") => {
-            respond_json(stream, 200, "{\n  \"stopping\": true\n}\n");
-            return true;
+            let mode = match request.query_param("mode") {
+                Some("abort") => ShutdownMode::Abort,
+                Some("drain") | None => ShutdownMode::Drain,
+                Some(other) => {
+                    respond_error(
+                        stream,
+                        400,
+                        &format!("unknown shutdown mode `{other}` (want `drain` or `abort`)"),
+                    );
+                    return None;
+                }
+            };
+            let label = match mode {
+                ShutdownMode::Drain => "drain",
+                ShutdownMode::Abort => "abort",
+            };
+            respond_json(
+                stream,
+                200,
+                &format!("{{\n  \"stopping\": true,\n  \"mode\": \"{label}\"\n}}\n"),
+            );
+            return Some(mode);
         }
         ("GET", _) if path.starts_with("/v1/jobs/") => handle_job_get(stream, engine, path),
         _ => respond_error(
@@ -218,7 +427,7 @@ fn route(stream: &mut TcpStream, engine: &Engine, request: &Request) -> bool {
             &format!("no route for {} {path}", request.method),
         ),
     }
-    false
+    None
 }
 
 fn handle_submit(stream: &mut TcpStream, engine: &Engine, request: &Request) {
@@ -291,7 +500,7 @@ fn handle_job_get(stream: &mut TcpStream, engine: &Engine, path: &str) {
 /// Renders a [`JobStatus`] as the status-endpoint JSON.
 pub fn job_status_json(s: &JobStatus) -> String {
     format!(
-        "{{\n  \"job\": {},\n  \"scenario\": \"{}\",\n  \"state\": \"{}\",\n  \"cells\": {},\n  \"simulated\": {},\n  \"cached\": {},\n  \"coalesced\": {},\n  \"pending\": {},\n  \"replicates_saved\": {},\n  \"wall_seconds\": {}\n}}\n",
+        "{{\n  \"job\": {},\n  \"scenario\": \"{}\",\n  \"state\": \"{}\",\n  \"cells\": {},\n  \"simulated\": {},\n  \"cached\": {},\n  \"coalesced\": {},\n  \"failed\": {},\n  \"pending\": {},\n  \"replicates_saved\": {},\n  \"wall_seconds\": {},\n  \"error\": {}\n}}\n",
         s.id,
         esc(&s.scenario),
         s.state,
@@ -299,10 +508,14 @@ pub fn job_status_json(s: &JobStatus) -> String {
         s.simulated,
         s.cached,
         s.coalesced,
+        s.failed,
         s.pending,
         s.replicates_saved,
         s.wall_seconds
             .map_or_else(|| "null".to_owned(), |w| format!("{w:.4}")),
+        s.error
+            .as_deref()
+            .map_or_else(|| "null".to_owned(), |e| format!("\"{}\"", esc(e))),
     )
 }
 
@@ -419,17 +632,25 @@ mod tests {
         let s = JobStatus {
             id: 1,
             scenario: "a\nb\"c".into(),
-            state: "running",
+            state: "failed",
             cells: 1,
             simulated: 0,
             cached: 0,
             coalesced: 0,
-            pending: 1,
+            failed: 1,
+            pending: 0,
             replicates_saved: 0,
             wall_seconds: None,
+            error: Some("panic: index out of \"bounds\"".into()),
         };
         let v = parse(&job_status_json(&s)).expect("valid JSON despite control chars");
         assert_eq!(v.get("scenario").and_then(Value::as_str), Some("a\nb\"c"));
+        assert_eq!(v.get("state").and_then(Value::as_str), Some("failed"));
+        assert_eq!(v.get("failed").and_then(Value::as_u64), Some(1));
+        assert_eq!(
+            v.get("error").and_then(Value::as_str),
+            Some("panic: index out of \"bounds\"")
+        );
     }
 
     #[test]
@@ -453,8 +674,120 @@ mod tests {
         let (status, v) = get_json(addr, "/v1/healthz");
         assert_eq!(status, 200);
         assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("respawns").and_then(Value::as_u64), Some(0));
 
         request(addr, "POST", "/v1/shutdown", b"").expect("shutdown");
         server.join().expect("clean exit");
+    }
+
+    #[test]
+    fn shutdown_modes_echo_and_unknown_mode_is_rejected() {
+        let server = start();
+        let addr = server.addr();
+        let (status, v) = {
+            let (s, b) = request(addr, "POST", "/v1/shutdown?mode=nope", b"").expect("bad mode");
+            (s, parse(&b).expect("JSON"))
+        };
+        assert_eq!(status, 400);
+        assert!(v
+            .get("error")
+            .and_then(Value::as_str)
+            .is_some_and(|e| e.contains("unknown shutdown mode")));
+        // A rejected mode must NOT stop the server.
+        let (status, _) = get_json(addr, "/v1/healthz");
+        assert_eq!(status, 200);
+
+        let (status, body) =
+            request(addr, "POST", "/v1/shutdown?mode=abort", b"").expect("abort shutdown");
+        assert_eq!(status, 200);
+        let v = parse(&body).expect("JSON");
+        assert_eq!(v.get("mode").and_then(Value::as_str), Some("abort"));
+        server.join().expect("clean exit");
+    }
+
+    #[test]
+    fn saturated_server_sheds_load_with_retryable_503() {
+        use crate::http::request_meta;
+        use std::io::Write;
+
+        let server = Server::bind_with(
+            "127.0.0.1:0",
+            ServeOptions {
+                workers: Some(1),
+                max_connections: 1,
+                request_deadline: Duration::from_secs(2),
+                ..ServeOptions::default()
+            },
+        )
+        .expect("bind")
+        .spawn()
+        .expect("spawn");
+        let addr = server.addr();
+
+        // Occupy the single slot with a connection that never finishes its
+        // request (it will be cut off at the request deadline).
+        let mut hog = std::net::TcpStream::connect(addr).expect("connect");
+        hog.write_all(b"GET /v1/healthz HT").expect("partial write");
+        std::thread::sleep(Duration::from_millis(100));
+
+        let resp = request_meta(addr, "GET", "/v1/healthz", b"", Duration::from_secs(5))
+            .expect("shed response");
+        assert_eq!(resp.status, 503, "{}", resp.body);
+        assert_eq!(resp.retry_after, Some(1), "503 carries Retry-After");
+        assert!(resp.body.contains("saturated"), "{}", resp.body);
+
+        // Freeing the slot restores service.
+        drop(hog);
+        std::thread::sleep(Duration::from_millis(100));
+        let (status, _) = get_json(addr, "/v1/healthz");
+        assert_eq!(status, 200, "slot freed after the hog disconnected");
+
+        request(addr, "POST", "/v1/shutdown?mode=abort", b"").expect("shutdown");
+        server.join().expect("clean exit");
+    }
+
+    #[test]
+    fn graceful_shutdown_drains_inflight_jobs_before_exit() {
+        let dir = std::env::temp_dir().join(format!("malec_srv_drain_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let cache_path = dir.join("results.cache");
+        std::fs::remove_file(&cache_path).ok();
+
+        let faults = Faults::disarmed();
+        // Slow the first cell so the shutdown provably races in-flight
+        // work.
+        faults.arm("engine.cell.slow", 1, Some(200));
+        let server = Server::bind_with(
+            "127.0.0.1:0",
+            ServeOptions {
+                workers: Some(2),
+                cache_path: Some(cache_path.clone()),
+                faults,
+                ..ServeOptions::default()
+            },
+        )
+        .expect("bind")
+        .spawn()
+        .expect("spawn");
+        let addr = server.addr();
+
+        let (status, _) = request(addr, "POST", "/v1/jobs", SPEC.as_bytes()).expect("submit");
+        assert_eq!(status, 202);
+        // Immediately request a graceful shutdown: the job's single cell is
+        // still queued or sleeping in its slow-down failpoint.
+        let (status, body) = request(addr, "POST", "/v1/shutdown", b"").expect("shutdown");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"mode\": \"drain\""), "{body}");
+        server.join().expect("clean exit");
+
+        // The drain let the in-flight cell finish and the log was flushed:
+        // a cold reopen of the cache file sees the completed result.
+        let cache = crate::cache::ResultCache::open(&cache_path).expect("reopen");
+        assert_eq!(
+            cache.stats().loaded,
+            1,
+            "in-flight work completed and persisted before exit"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 }
