@@ -12,11 +12,15 @@
 //! malec-cli presets                         list the built-in scenarios
 //! malec-cli serve [--addr A] [--cache F] [--jobs N] [--fsync P]
 //!                 [--max-conns N] [--drain-timeout S] [--job-ttl S]
-//!                 [--faults SCHED]          run the batch service (blocking)
+//!                 [--cache-max-bytes N] [--compact-threshold R]
+//!                 [--warm-from A] [--faults SCHED]
+//!                                           run the batch service (blocking)
 //! malec-cli submit <spec.toml> [--addr A] [-o OUT] [--no-wait] [--retries N]
 //!                                           submit the spec to a server
 //! malec-cli status [JOB] [--addr A] [--retries N]
 //!                                           job status, or cache stats without JOB
+//! malec-cli cache compact [--addr A]        rewrite the server's cache log
+//! malec-cli cache sync --from A -o FILE     download a server's live records
 //! ```
 //!
 //! Exit status is nonzero on any error **and** on a replay-digest mismatch,
@@ -33,14 +37,16 @@ use malec_cli::run::{record_trace, run_spec_file};
 use malec_core::digest::digest;
 use malec_core::{ScenarioSource, Simulator};
 use malec_serve::client::{Client, RetryPolicy};
+use malec_serve::http::{request, request_stream};
+use malec_serve::json::{parse as parse_json, Value};
 use malec_serve::server::{ServeOptions, Server, DEFAULT_ADDR};
 use malec_serve::spec::parse_spec;
-use malec_serve::{Faults, FsyncPolicy};
+use malec_serve::{Faults, FsyncPolicy, ResultCache};
 use malec_trace::scenario::presets;
 use malec_types::SimConfig;
 
 fn usage() -> String {
-    "usage:\n  malec-cli run <spec.toml> [--jobs N]\n  malec-cli compare <spec.toml> [--jobs N] [--addr HOST:PORT] [-o report.json] [--retries N]\n  malec-cli record <spec.toml> [-o out.mtr]\n  malec-cli replay <trace.mtr> [--config LABEL] [--insts N] [--seed N] [--name NAME]\n  malec-cli presets\n  malec-cli serve [--addr HOST:PORT] [--cache FILE] [--jobs N] [--fsync always|on-close]\n                  [--max-conns N] [--drain-timeout SECS] [--job-ttl SECS] [--faults SCHED]\n  malec-cli submit <spec.toml> [--addr HOST:PORT] [-o report.json] [--no-wait] [--retries N]\n  malec-cli status [JOB] [--addr HOST:PORT] [--retries N]\n\nThe replay digest folds the workload name; pass --name <scenario name>\n(the [scenario] name the trace was recorded under) to make it comparable\nwith the digests in a `run` report.\n\n`compare` pairs the spec's [compare] interfaces per shared replicate seed\nand reports deltas (mean ± paired CI, relative %, win/loss/tie at the\nspec's alpha); with --addr the spec is submitted to a server and the\ndeltas are assembled from its result cache instead of simulating locally.\n\n`serve` hosts the batch service (default address 127.0.0.1:4173); `submit`\nand `status` talk to it. --cache persists the result cache across\nrestarts; --jobs caps worker fan-out everywhere it appears. --fsync sets\nthe cache-log durability policy; --max-conns sheds load above N concurrent\nconnections (503 + Retry-After); --job-ttl expires finished job records;\n--faults arms the deterministic failpoint schedule (`name@hit[:param];...`,\nalso read from MALEC_FAULTS) — testing only.\n\n--retries N retries transport failures and retryable statuses (408/429/5xx)\nwith capped exponential backoff, and resubmits a job whose cells failed\n(completed cells are cached, so only failed work is re-simulated)."
+    "usage:\n  malec-cli run <spec.toml> [--jobs N]\n  malec-cli compare <spec.toml> [--jobs N] [--addr HOST:PORT] [-o report.json] [--retries N]\n  malec-cli record <spec.toml> [-o out.mtr]\n  malec-cli replay <trace.mtr> [--config LABEL] [--insts N] [--seed N] [--name NAME]\n  malec-cli presets\n  malec-cli serve [--addr HOST:PORT] [--cache FILE] [--jobs N] [--fsync always|on-close]\n                  [--max-conns N] [--drain-timeout SECS] [--job-ttl SECS]\n                  [--cache-max-bytes N] [--compact-threshold RATIO]\n                  [--warm-from HOST:PORT] [--faults SCHED]\n  malec-cli submit <spec.toml> [--addr HOST:PORT] [-o report.json] [--no-wait] [--retries N]\n  malec-cli status [JOB] [--addr HOST:PORT] [--retries N]\n  malec-cli cache compact [--addr HOST:PORT]\n  malec-cli cache sync --from HOST:PORT -o FILE\n\nThe replay digest folds the workload name; pass --name <scenario name>\n(the [scenario] name the trace was recorded under) to make it comparable\nwith the digests in a `run` report.\n\n`compare` pairs the spec's [compare] interfaces per shared replicate seed\nand reports deltas (mean ± paired CI, relative %, win/loss/tie at the\nspec's alpha); with --addr the spec is submitted to a server and the\ndeltas are assembled from its result cache instead of simulating locally.\n\n`serve` hosts the batch service (default address 127.0.0.1:4173); `submit`\nand `status` talk to it. --cache persists the result cache across\nrestarts; --jobs caps worker fan-out everywhere it appears. --fsync sets\nthe cache-log durability policy; --max-conns sheds load above N concurrent\nconnections (503 + Retry-After); --job-ttl expires finished job records;\n--cache-max-bytes bounds resident results (LRU eviction; disk space is\nreclaimed at the next compaction); --compact-threshold RATIO rewrites the\nlog automatically once that fraction of its payload is dead;\n--warm-from pulls a running peer's live records before serving;\n--faults arms the deterministic failpoint schedule (`name@hit[:param];...`,\nalso read from MALEC_FAULTS) — testing only.\n\n`cache compact` asks a server to rewrite its log keeping only live\nrecords; `cache sync` downloads a server's live record set\n(checksum-verified) into a local log file usable as `serve --cache` for a\nfresh peer.\n\n--retries N retries transport failures and retryable statuses (408/429/5xx)\nwith capped exponential backoff, and resubmits a job whose cells failed\n(completed cells are cached, so only failed work is re-simulated)."
         .to_owned()
 }
 
@@ -64,6 +70,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         Some("serve") => cmd_serve(&args[1..]),
         Some("submit") => cmd_submit(&args[1..]),
         Some("status") => cmd_status(&args[1..]),
+        Some("cache") => cmd_cache(&args[1..]),
         Some("presets") => {
             cmd_presets();
             Ok(())
@@ -356,9 +363,19 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let max_conns: Option<usize> = take_flag(&mut args, "--max-conns")?;
     let drain_timeout: Option<u64> = take_flag(&mut args, "--drain-timeout")?;
     let job_ttl: Option<u64> = take_flag(&mut args, "--job-ttl")?;
+    let cache_max_bytes: Option<u64> = take_flag(&mut args, "--cache-max-bytes")?;
+    let compact_threshold: Option<f64> = take_flag(&mut args, "--compact-threshold")?;
+    let warm_from: Option<String> = take_flag(&mut args, "--warm-from")?;
     let fault_schedule: Option<String> = take_flag(&mut args, "--faults")?;
     if !args.is_empty() {
         return Err(format!("unexpected arguments {args:?}\n{}", usage()));
+    }
+    if let Some(t) = compact_threshold {
+        if !(t > 0.0 && t <= 1.0) {
+            return Err(format!(
+                "--compact-threshold must be a dead-byte ratio in (0, 1], got {t}"
+            ));
+        }
     }
     // --faults overrides the MALEC_FAULTS environment variable; both parse
     // the same `name@hit[:param];...` schedule.
@@ -376,10 +393,30 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         max_connections: max_conns.unwrap_or(defaults.max_connections),
         drain_timeout: drain_timeout.map_or(defaults.drain_timeout, Duration::from_secs),
         job_ttl: job_ttl.map(Duration::from_secs).or(defaults.job_ttl),
+        cache_max_bytes,
+        compact_threshold,
         ..defaults
     };
     let server = Server::bind_with(addr.as_str(), opts).map_err(|e| format!("bind {addr}: {e}"))?;
     let bound = server.local_addr().map_err(|e| e.to_string())?;
+    // Warm before accepting work: a fresh peer serves its first request at
+    // 100% cache coverage or fails loudly at startup, never in between.
+    if let Some(peer) = warm_from {
+        let report = server
+            .engine()
+            .warm_from(&peer)
+            .map_err(|e| format!("warm from {peer}: {e}"))?;
+        if let Some(damage) = report.damaged {
+            return Err(format!(
+                "warm from {peer}: stream damaged after {} verified record(s): {damage}",
+                report.records
+            ));
+        }
+        println!(
+            "warmed from {peer}: {} record(s), {} bytes ({} new)",
+            report.records, report.bytes, report.inserted
+        );
+    }
     println!(
         "malec-serve listening on {bound} ({} worker(s), cache {})",
         server.engine().workers(),
@@ -392,6 +429,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     println!("  GET  /v1/jobs/<id>     job status");
     println!("  GET  /v1/jobs/<id>/report");
     println!("  GET  /v1/cache/stats   result-cache counters");
+    println!("  POST /v1/cache/compact rewrite the cache log, dropping dead records");
+    println!("  GET  /v1/cache/sync    stream the live record set (peer warm-up)");
     println!("  POST /v1/shutdown      drain and stop (?mode=abort skips the drain)");
     server.run().map_err(|e| e.to_string())
 }
@@ -502,6 +541,10 @@ fn cmd_status(args: &[String]) -> Result<(), String> {
             println!("  misses           {}", stats.misses);
             println!("  coalesced        {}", stats.coalesced);
             println!("  bytes appended   {}", stats.bytes_appended);
+            println!("  log bytes        {}", stats.log_bytes);
+            println!("  live bytes       {}", stats.live_bytes);
+            println!("  evicted          {}", stats.evicted);
+            println!("  compactions      {}", stats.compactions);
             Ok(())
         }
         [job] => {
@@ -528,6 +571,84 @@ fn cmd_status(args: &[String]) -> Result<(), String> {
         }
         _ => Err(usage()),
     }
+}
+
+/// `cache compact` / `cache sync` — the cache-log lifecycle operations.
+fn cmd_cache(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("compact") => cmd_cache_compact(&args[1..]),
+        Some("sync") => cmd_cache_sync(&args[1..]),
+        _ => Err(usage()),
+    }
+}
+
+fn cmd_cache_compact(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let addr: String = take_flag(&mut args, "--addr")?.unwrap_or_else(|| DEFAULT_ADDR.to_owned());
+    if !args.is_empty() {
+        return Err(format!("unexpected arguments {args:?}\n{}", usage()));
+    }
+    let (status, body) = request(addr.as_str(), "POST", "/v1/cache/compact", b"")
+        .map_err(|e| format!("POST {addr}/v1/cache/compact: {e}"))?;
+    if status != 200 {
+        let detail = parse_json(&body)
+            .ok()
+            .and_then(|v| v.get("error").and_then(Value::as_str).map(str::to_owned))
+            .unwrap_or(body);
+        return Err(format!("server returned {status}: {}", detail.trim()));
+    }
+    let v = parse_json(&body).map_err(|e| format!("malformed response: {e}"))?;
+    let get = |key: &str| v.get(key).and_then(Value::as_u64).unwrap_or(0);
+    println!(
+        "compacted cache at {addr}: {} -> {} bytes, {} live record(s)",
+        get("bytes_before"),
+        get("bytes_after"),
+        get("live_records"),
+    );
+    Ok(())
+}
+
+/// Streams a server's live record set into a local cache log, verifying
+/// every record's checksum on the way in. The result is a valid log file:
+/// point a fresh `serve --cache` at it to start at full coverage.
+fn cmd_cache_sync(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let from: String = take_flag(&mut args, "--from")?
+        .ok_or_else(|| format!("cache sync needs --from HOST:PORT\n{}", usage()))?;
+    let out: String = take_flag(&mut args, "-o")?
+        .ok_or_else(|| format!("cache sync needs -o FILE\n{}", usage()))?;
+    if !args.is_empty() {
+        return Err(format!("unexpected arguments {args:?}\n{}", usage()));
+    }
+    let (status, mut stream) = request_stream(
+        from.as_str(),
+        "GET",
+        "/v1/cache/sync",
+        Duration::from_secs(60),
+    )
+    .map_err(|e| format!("GET {from}/v1/cache/sync: {e}"))?;
+    if status != 200 {
+        return Err(format!("{from} answered {status} to GET /v1/cache/sync"));
+    }
+    let mut cache = ResultCache::open(Path::new(&out)).map_err(|e| format!("open {out}: {e}"))?;
+    let report = cache
+        .ingest(&mut stream)
+        .map_err(|e| format!("sync from {from}: {e}"))?;
+    cache.sync().map_err(|e| format!("sync {out}: {e}"))?;
+    if let Some(damage) = report.damaged {
+        return Err(format!(
+            "stream from {from} damaged after {} verified record(s) (kept): {damage}",
+            report.records
+        ));
+    }
+    println!(
+        "synced {} record(s), {} bytes from {from} -> {out} ({} new, {} already present)",
+        report.records,
+        report.bytes,
+        report.inserted,
+        report.records - report.inserted,
+    );
+    Ok(())
 }
 
 fn cmd_presets() {

@@ -34,6 +34,12 @@ pub struct RetryPolicy {
     pub base: Duration,
     /// Upper bound on any single backoff.
     pub cap: Duration,
+    /// Status-poll cadence for [`Client::wait`]'s first polls.
+    pub poll_interval: Duration,
+    /// Ceiling the poll cadence backs off toward on long-running jobs, so
+    /// a million-cell sweep does not hammer the status endpoint at the
+    /// short-job cadence for its whole runtime.
+    pub poll_max: Duration,
 }
 
 impl Default for RetryPolicy {
@@ -50,6 +56,8 @@ impl RetryPolicy {
             retries: 0,
             base: Duration::from_millis(100),
             cap: Duration::from_secs(5),
+            poll_interval: Duration::from_millis(50),
+            poll_max: Duration::from_millis(500),
         }
     }
 
@@ -79,6 +87,18 @@ impl RetryPolicy {
         }
         let jitter_ms = h % (half.as_millis().max(1) as u64 + 1);
         half + Duration::from_millis(jitter_ms)
+    }
+
+    /// The delay before the next status poll, given how many polls have
+    /// already happened: starts at [`poll_interval`](Self::poll_interval)
+    /// and doubles toward [`poll_max`](Self::poll_max) — a short job is
+    /// observed promptly, a long one settles into the slow cadence.
+    #[must_use]
+    pub fn poll_cadence(&self, polls: u32) -> Duration {
+        self.poll_interval
+            .saturating_mul(1u32 << polls.min(16))
+            .min(self.poll_max)
+            .max(Duration::from_millis(1))
     }
 }
 
@@ -142,6 +162,42 @@ fn field(v: &Value, key: &str) -> Result<u64, String> {
     v.get(key)
         .and_then(Value::as_u64)
         .ok_or_else(|| format!("response lacks `{key}`: {v:?}"))
+}
+
+/// Parses a status-endpoint JSON object into a [`JobView`] (shared by the
+/// one-shot [`Client::status`] and the polling loop of [`Client::wait`]).
+fn parse_view(v: &Value) -> Result<JobView, String> {
+    Ok(JobView {
+        job: field(v, "job")?,
+        scenario: v
+            .get("scenario")
+            .and_then(Value::as_str)
+            .unwrap_or_default()
+            .to_owned(),
+        state: v
+            .get("state")
+            .and_then(Value::as_str)
+            .ok_or("response lacks `state`")?
+            .to_owned(),
+        cells: field(v, "cells")?,
+        simulated: field(v, "simulated")?,
+        cached: field(v, "cached")?,
+        coalesced: field(v, "coalesced")?,
+        // Absent on pre-fault-tolerance servers; default rather than fail.
+        failed: v.get("failed").and_then(Value::as_u64).unwrap_or(0),
+        pending: field(v, "pending")?,
+        // Absent on pre-replication servers; default rather than fail.
+        replicates_saved: v
+            .get("replicates_saved")
+            .and_then(Value::as_u64)
+            .unwrap_or(0),
+        wall_seconds: v.get("wall_seconds").and_then(Value::as_f64),
+        error: v
+            .get("error")
+            .and_then(Value::as_str)
+            .map(str::to_owned)
+            .filter(|e| !e.is_empty()),
+    })
 }
 
 impl Client {
@@ -225,60 +281,89 @@ impl Client {
     /// malformed responses.
     pub fn status(&self, job: u64) -> Result<JobView, String> {
         let v = self.call_json("GET", &format!("/v1/jobs/{job}"), b"")?;
-        Ok(JobView {
-            job: field(&v, "job")?,
-            scenario: v
-                .get("scenario")
-                .and_then(Value::as_str)
-                .unwrap_or_default()
-                .to_owned(),
-            state: v
-                .get("state")
-                .and_then(Value::as_str)
-                .ok_or("response lacks `state`")?
-                .to_owned(),
-            cells: field(&v, "cells")?,
-            simulated: field(&v, "simulated")?,
-            cached: field(&v, "cached")?,
-            coalesced: field(&v, "coalesced")?,
-            // Absent on pre-fault-tolerance servers; default rather than fail.
-            failed: v.get("failed").and_then(Value::as_u64).unwrap_or(0),
-            pending: field(&v, "pending")?,
-            // Absent on pre-replication servers; default rather than fail.
-            replicates_saved: v
-                .get("replicates_saved")
-                .and_then(Value::as_u64)
-                .unwrap_or(0),
-            wall_seconds: v.get("wall_seconds").and_then(Value::as_f64),
-            error: v
-                .get("error")
-                .and_then(Value::as_str)
-                .map(str::to_owned)
-                .filter(|e| !e.is_empty()),
-        })
+        parse_view(&v)
     }
 
-    /// Polls until the job reaches a terminal state — `done` *or* `failed`
-    /// (50 ms cadence). A failed job is returned as a view, not an error:
-    /// inspect [`JobView::state`] and [`JobView::error`].
+    /// Polls until the job reaches a terminal state — `done` *or* `failed`.
+    /// A failed job is returned as a view, not an error: inspect
+    /// [`JobView::state`] and [`JobView::error`].
+    ///
+    /// The cadence is [`RetryPolicy::poll_cadence`]: `poll_interval`
+    /// doubling toward `poll_max`. A shed poll (the saturation gate's
+    /// `503`) or transient server error does **not** abort the wait — the
+    /// job keeps running server-side regardless — it just delays the next
+    /// poll, by the server's `Retry-After` when one is sent. Transport
+    /// errors are bounded by the policy's `retries` (consecutive);
+    /// deterministic client errors (`404` for an expired job) are fatal
+    /// immediately.
     ///
     /// # Errors
     ///
-    /// Propagates status errors and reports a timeout.
+    /// Returns a message when the deadline passes, the server answers a
+    /// non-retryable error, or `retries + 1` consecutive transport
+    /// failures occur.
     pub fn wait(&self, job: u64, timeout: Duration) -> Result<JobView, String> {
         let deadline = Instant::now() + timeout;
+        let path = format!("/v1/jobs/{job}");
+        let mut polls = 0u32;
+        let mut transport_failures = 0u32;
         loop {
-            let view = self.status(job)?;
-            if view.is_terminal() {
-                return Ok(view);
+            match request_meta(&self.addr, "GET", &path, b"", REQUEST_TIMEOUT) {
+                Ok(resp) if (200..300).contains(&resp.status) => {
+                    transport_failures = 0;
+                    let v = parse(&resp.body)
+                        .map_err(|e| format!("{path}: malformed response: {e}"))?;
+                    let view = parse_view(&v)?;
+                    if view.is_terminal() {
+                        return Ok(view);
+                    }
+                    if Instant::now() >= deadline {
+                        return Err(format!(
+                            "job {job} still {} after {timeout:?} ({} of {} cells pending)",
+                            view.state, view.pending, view.cells
+                        ));
+                    }
+                    std::thread::sleep(self.retry.poll_cadence(polls));
+                    polls += 1;
+                }
+                Ok(resp) if retryable_status(resp.status) => {
+                    // The server answered, so it is alive — a shed or
+                    // failed poll never gives up on the job. Honor its
+                    // pacing hint when it sent one.
+                    transport_failures = 0;
+                    if Instant::now() >= deadline {
+                        return Err(format!(
+                            "job {job}: server still answering {} to status polls at the \
+                             {timeout:?} deadline",
+                            resp.status
+                        ));
+                    }
+                    let delay = resp
+                        .retry_after
+                        .map_or_else(|| self.retry.poll_cadence(polls), Duration::from_secs);
+                    std::thread::sleep(delay);
+                    polls += 1;
+                }
+                Ok(resp) => {
+                    // Deterministic client error (404: unknown/expired job).
+                    let detail = parse(&resp.body)
+                        .ok()
+                        .and_then(|v| v.get("error").and_then(Value::as_str).map(str::to_owned))
+                        .unwrap_or(resp.body);
+                    return Err(format!("{path}: server returned {}: {detail}", resp.status));
+                }
+                Err(e) => {
+                    transport_failures += 1;
+                    if transport_failures > self.retry.retries {
+                        return Err(format!(
+                            "GET {path} at {}: {e} ({transport_failures} consecutive failure{})",
+                            self.addr,
+                            if transport_failures == 1 { "" } else { "s" }
+                        ));
+                    }
+                    std::thread::sleep(self.retry.backoff(transport_failures, &path));
+                }
             }
-            if Instant::now() >= deadline {
-                return Err(format!(
-                    "job {job} still {} after {timeout:?} ({} of {} cells pending)",
-                    view.state, view.pending, view.cells
-                ));
-            }
-            std::thread::sleep(Duration::from_millis(50));
         }
     }
 
@@ -366,6 +451,9 @@ impl Client {
     /// Returns a message for connection failures and malformed responses.
     pub fn cache_stats(&self) -> Result<CacheStats, String> {
         let v = self.call_json("GET", "/v1/cache/stats", b"")?;
+        // The lifecycle counters are absent on pre-lifecycle servers;
+        // default rather than fail.
+        let opt = |key: &str| v.get(key).and_then(Value::as_u64).unwrap_or(0);
         Ok(CacheStats {
             entries: field(&v, "entries")?,
             loaded: field(&v, "loaded_from_disk")?,
@@ -373,6 +461,10 @@ impl Client {
             misses: field(&v, "misses")?,
             coalesced: field(&v, "coalesced")?,
             bytes_appended: field(&v, "bytes_appended")?,
+            log_bytes: opt("log_bytes"),
+            live_bytes: opt("live_bytes"),
+            evicted: opt("evicted"),
+            compactions: opt("compactions"),
         })
     }
 
@@ -548,6 +640,35 @@ mod tests {
         let view = client
             .run_to_completion(SPEC, Duration::from_secs(60), 1)
             .expect("second submission completes");
+        assert_eq!(view.state, "done");
+        assert_eq!(view.pending, 0);
+        client.shutdown().expect("shutdown");
+        server.join().expect("clean exit");
+    }
+
+    #[test]
+    fn poll_cadence_doubles_from_interval_to_max() {
+        let p = RetryPolicy::none();
+        assert_eq!(p.poll_cadence(0), Duration::from_millis(50));
+        assert_eq!(p.poll_cadence(1), Duration::from_millis(100));
+        assert_eq!(p.poll_cadence(2), Duration::from_millis(200));
+        assert_eq!(p.poll_cadence(3), Duration::from_millis(400));
+        assert_eq!(p.poll_cadence(4), Duration::from_millis(500), "capped");
+        for polls in 4..64 {
+            assert_eq!(p.poll_cadence(polls), p.poll_max, "stays at the cap");
+        }
+    }
+
+    #[test]
+    fn wait_rides_out_a_shed_or_failed_status_poll() {
+        // Request 1 is the submit; request 2 — the first status poll — gets
+        // an injected 500. A failed *poll* says nothing about the job, so
+        // even a fail-fast (no-retry) client must keep polling and return
+        // the completed view.
+        let server = faulty_server(&[("http.respond.500", 2, None)]);
+        let client = Client::new(server.addr().to_string());
+        let job = client.submit(SPEC).expect("submit");
+        let view = client.wait(job, Duration::from_secs(60)).expect("wait");
         assert_eq!(view.state, "done");
         assert_eq!(view.pending, 0);
         client.shutdown().expect("shutdown");

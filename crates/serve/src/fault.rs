@@ -16,6 +16,8 @@
 //! | `worker.panic`      | panic              | inside a worker's per-cell simulation  |
 //! | `worker.loop.panic` | panic              | worker loop, outside the per-cell guard|
 //! | `cache.append.torn` | torn write (`:N` keeps N bytes) | the cache-log append      |
+//! | `cache.compact.torn`| torn rewrite (`:N` keeps N records) | the compaction temp file |
+//! | `cache.sync.stall`  | sleep (`:N` ms)    | mid-stream in `/v1/cache/sync`         |
 //! | `engine.cell.slow`  | sleep (`:N` ms)    | before a cell simulates                |
 //! | `http.read.stall`   | sleep (`:N` ms)    | before the server reads a request      |
 //! | `http.respond.500`  | reply `500`        | before the server routes a request     |
@@ -109,6 +111,8 @@ pub const KNOWN_POINTS: &[&str] = &[
     "worker.panic",
     "worker.loop.panic",
     "cache.append.torn",
+    "cache.compact.torn",
+    "cache.sync.stall",
     "engine.cell.slow",
     "http.read.stall",
     "http.respond.500",
@@ -121,7 +125,13 @@ fn default_action(name: &str, param: Option<u64>) -> Option<FaultAction> {
         "cache.append.torn" => Some(FaultAction::Torn {
             keep: param.unwrap_or(4),
         }),
-        "engine.cell.slow" | "http.read.stall" => Some(FaultAction::Delay {
+        // For the compaction rewrite, `keep` counts complete RECORDS let
+        // through before the tear (the torn half-record follows), not
+        // bytes — a rewrite "crashes" at a record granularity.
+        "cache.compact.torn" => Some(FaultAction::Torn {
+            keep: param.unwrap_or(1),
+        }),
+        "engine.cell.slow" | "http.read.stall" | "cache.sync.stall" => Some(FaultAction::Delay {
             ms: param.unwrap_or(50),
         }),
         "http.respond.500" => Some(FaultAction::Error),

@@ -9,6 +9,12 @@
 //! round trip. One request per connection keeps the framing trivial —
 //! connection reuse buys nothing for a localhost batch API.
 //!
+//! Binary endpoints (`/v1/cache/sync`) stream instead of buffering:
+//! [`write_response_head`] emits the head and lets the handler write the
+//! body in pieces, and [`request_stream`] hands the caller a bounded
+//! [`ByteStream`] reader over the response body — a cache snapshot can
+//! exceed the 4 MiB JSON body cap without either side holding it whole.
+//!
 //! Limits are deliberate: 8 KiB per header line, 64 headers, 4 MiB bodies.
 //! A malformed or oversized request produces a clean error (the server
 //! turns it into `400`), never a panic or an unbounded allocation.
@@ -281,6 +287,28 @@ pub fn write_response_with(
     stream.flush()
 }
 
+/// Writes only the response head (status line, `Content-Type`,
+/// `Content-Length`, `Connection: close`, blank line) for a body the
+/// caller streams itself — exactly `content_length` bytes must follow.
+///
+/// # Errors
+///
+/// Propagates socket errors.
+pub fn write_response_head(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    content_length: usize,
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {content_length}\r\nConnection: close\r\n\r\n",
+        status,
+        reason(status),
+        content_type,
+    );
+    stream.write_all(head.as_bytes())
+}
+
 /// One complete HTTP response as the client sees it.
 #[derive(Clone, Debug)]
 pub struct Response {
@@ -340,39 +368,9 @@ pub fn request_meta(
     stream.flush()?;
 
     let mut reader = BufReader::new(stream);
-    let status_line = read_line(&mut reader)?;
-    let status: u16 = status_line
-        .split_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| bad(format!("bad status line `{status_line}`")))?;
-    let mut content_length: Option<usize> = None;
-    let mut retry_after: Option<u64> = None;
-    let mut headers_ended = false;
-    for _ in 0..=MAX_HEADERS {
-        let line = read_line(&mut reader)?;
-        if line.is_empty() {
-            headers_ended = true;
-            break;
-        }
-        if let Some((name, value)) = line.split_once(':') {
-            if name.eq_ignore_ascii_case("content-length") {
-                let len = parse_content_length(value, content_length)?;
-                if len > MAX_BODY {
-                    return Err(bad("response too large"));
-                }
-                content_length = Some(len);
-            } else if name.eq_ignore_ascii_case("retry-after") {
-                // Only the delta-seconds form; an unparsable value (the
-                // HTTP-date form) is ignored, not an error.
-                retry_after = value.trim().parse().ok();
-            }
-        }
-    }
-    if !headers_ended {
-        // Falling out of the loop would misparse leftover header bytes as
-        // the body; refuse like the server side does.
-        return Err(bad("too many headers in response"));
+    let (status, content_length, retry_after) = read_response_head(&mut reader)?;
+    if content_length.is_some_and(|len| len > MAX_BODY) {
+        return Err(bad("response too large"));
     }
     let body = match content_length {
         Some(len) => {
@@ -393,6 +391,92 @@ pub fn request_meta(
         body,
         retry_after,
     })
+}
+
+/// Parses a response's status line and headers off `reader`, returning
+/// `(status, content_length, retry_after)` and leaving the reader at the
+/// first body byte. Shared by the buffering and streaming clients; body
+/// size limits are the caller's policy.
+fn read_response_head(reader: &mut impl BufRead) -> io::Result<(u16, Option<usize>, Option<u64>)> {
+    let status_line = read_line(reader)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad(format!("bad status line `{status_line}`")))?;
+    let mut content_length: Option<usize> = None;
+    let mut retry_after: Option<u64> = None;
+    let mut headers_ended = false;
+    for _ in 0..=MAX_HEADERS {
+        let line = read_line(reader)?;
+        if line.is_empty() {
+            headers_ended = true;
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = Some(parse_content_length(value, content_length)?);
+            } else if name.eq_ignore_ascii_case("retry-after") {
+                // Only the delta-seconds form; an unparsable value (the
+                // HTTP-date form) is ignored, not an error.
+                retry_after = value.trim().parse().ok();
+            }
+        }
+    }
+    if !headers_ended {
+        // Falling out of the loop would misparse leftover header bytes as
+        // the body; refuse like the server side does.
+        return Err(bad("too many headers in response"));
+    }
+    Ok((status, content_length, retry_after))
+}
+
+/// A streaming response body: bounded by the response's `Content-Length`
+/// when present, by connection close otherwise. What
+/// [`request_stream`] hands back.
+pub struct ByteStream {
+    reader: std::io::Take<BufReader<TcpStream>>,
+}
+
+impl Read for ByteStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.reader.read(buf)
+    }
+}
+
+/// Performs one bodyless round trip against `addr` and returns the status
+/// plus a [`ByteStream`] over the response body — the client side of
+/// binary endpoints, where the body may exceed the JSON body cap and
+/// should be consumed incrementally (the cache's `ingest` verifies it
+/// record by record as it arrives).
+///
+/// # Errors
+///
+/// Propagates connection and socket errors; returns `InvalidData` for a
+/// malformed response head.
+pub fn request_stream(
+    addr: impl ToSocketAddrs,
+    method: &str,
+    path: &str,
+    timeout: Duration,
+) -> io::Result<(u16, ByteStream)> {
+    let mut stream = connect_timeout(addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: malec-serve\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream);
+    let (status, content_length, _) = read_response_head(&mut reader)?;
+    let limit = content_length.map_or(u64::MAX, |l| l as u64);
+    Ok((
+        status,
+        ByteStream {
+            reader: reader.take(limit),
+        },
+    ))
 }
 
 /// `TcpStream::connect` with a timeout (std only offers it per
@@ -581,6 +665,36 @@ mod tests {
             err.to_string().contains("conflicting Content-Length"),
             "{err}"
         );
+    }
+
+    #[test]
+    fn streamed_response_bodies_arrive_whole_and_bounded() {
+        // The server writes the head, then the body in two chunks with a
+        // pause between (the /v1/cache/sync shape); the client's
+        // ByteStream reassembles exactly Content-Length bytes — trailing
+        // garbage past the declared length is never surfaced.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let payload: Vec<u8> = (0u16..600).map(|i| (i % 251) as u8).collect();
+        let expected = payload.clone();
+        std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("accept");
+            read_request(&mut stream).ok();
+            write_response_head(&mut stream, 200, "application/octet-stream", payload.len())
+                .expect("head");
+            let (a, b) = payload.split_at(payload.len() / 2);
+            stream.write_all(a).expect("first half");
+            stream.flush().ok();
+            std::thread::sleep(Duration::from_millis(30));
+            stream.write_all(b).expect("second half");
+            stream.write_all(b"TRAILING-GARBAGE").ok();
+        });
+        let (status, mut body) =
+            request_stream(addr, "GET", "/v1/cache/sync", Duration::from_secs(5)).expect("stream");
+        assert_eq!(status, 200);
+        let mut got = Vec::new();
+        body.read_to_end(&mut got).expect("read body");
+        assert_eq!(got, expected, "chunked writes reassemble bit-identically");
     }
 
     #[test]

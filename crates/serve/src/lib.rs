@@ -19,7 +19,9 @@
 //! * [`report`] — the JSON report schema shared by `malec-cli run` and the
 //!   fetch-report endpoint;
 //! * [`cache`] — stable 128-bit cell keys ([`malec_types::stable`]) and the
-//!   append-only persisted result cache;
+//!   append-only persisted result cache, with a full log lifecycle:
+//!   atomic compaction, size-bounded LRU eviction, and a streamable live
+//!   snapshot for warming a fresh peer (`/v1/cache/sync`);
 //! * [`scheduler`] — the [`Engine`]: job queue, persistent worker pool,
 //!   in-flight deduplication of concurrent identical cells, panic-safe
 //!   workers that fail the cell instead of shrinking the pool;
@@ -69,7 +71,7 @@ pub mod server;
 pub mod spec;
 pub mod toml;
 
-pub use cache::{cache_key, CacheStats, FsyncPolicy, ResultCache};
+pub use cache::{cache_key, CacheStats, CompactOutcome, FsyncPolicy, ResultCache, SyncReport};
 pub use client::{Client, JobView, RetryPolicy};
 pub use fault::{FaultAction, Faults};
 pub use scheduler::{Engine, JobId, JobStatus, Provenance};

@@ -40,7 +40,7 @@ use malec_trace::Scenario;
 use malec_types::error::Failure;
 use malec_types::SimConfig;
 
-use crate::cache::{cache_key, CacheStats, FsyncPolicy, ResultCache};
+use crate::cache::{cache_key, CacheStats, CompactOutcome, FsyncPolicy, ResultCache, SyncReport};
 use crate::fault::{FaultAction, Faults};
 use crate::report::{render, render_compare, CellResult, CompareReportMeta, ReportMeta};
 use crate::spec::SweepSpec;
@@ -83,6 +83,15 @@ pub struct EngineOptions {
     /// Additionally expire terminal jobs this long after they settle
     /// (`None`: count-based eviction only).
     pub job_ttl: Option<Duration>,
+    /// Cap on live cache bytes (`None`: unbounded). Past it, the
+    /// least-recently-used entries are evicted from memory — and from disk
+    /// at the next compaction.
+    pub cache_max_bytes: Option<u64>,
+    /// Auto-compaction trigger: when the log's dead-byte ratio reaches
+    /// this fraction, the append that crossed it compacts the log in
+    /// place (`None`: compaction only on demand via
+    /// [`Engine::compact_cache`]).
+    pub compact_threshold: Option<f64>,
 }
 
 impl Default for EngineOptions {
@@ -94,6 +103,8 @@ impl Default for EngineOptions {
             faults: Faults::disarmed(),
             retain_done: MAX_RETAINED_DONE,
             job_ttl: None,
+            cache_max_bytes: None,
+            compact_threshold: None,
         }
     }
 }
@@ -306,6 +317,7 @@ struct EngineInner {
     faults: Arc<Faults>,
     retain_done: usize,
     job_ttl: Option<Duration>,
+    compact_threshold: Option<f64>,
     /// Workers respawned after a panic escaped the per-cell guard.
     respawns: AtomicU64,
 }
@@ -343,7 +355,8 @@ impl Engine {
         let cache = match &opts.cache_path {
             Some(p) => ResultCache::open_with(p, opts.fsync, Arc::clone(&opts.faults))?,
             None => ResultCache::in_memory(),
-        };
+        }
+        .with_max_bytes(opts.cache_max_bytes);
         let workers = opts.workers.unwrap_or_else(worker_count).max(1);
         let inner = Arc::new(EngineInner {
             cache: Mutex::new(cache),
@@ -357,6 +370,7 @@ impl Engine {
             faults: opts.faults,
             retain_done: opts.retain_done.max(1),
             job_ttl: opts.job_ttl,
+            compact_threshold: opts.compact_threshold,
             respawns: AtomicU64::new(0),
         });
         let handles = (0..workers)
@@ -622,6 +636,44 @@ impl Engine {
         lock(&self.inner.cache).sync()
     }
 
+    /// Compacts the persisted cache log down to its live record set (see
+    /// [`ResultCache::compact`]) — the `POST /v1/cache/compact` handler
+    /// and the `--compact-threshold` trigger share this path.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidInput` for an in-memory cache; otherwise propagates the
+    /// rewrite's I/O errors (the live log is untouched on failure).
+    pub fn compact_cache(&self) -> io::Result<CompactOutcome> {
+        lock(&self.inner.cache).compact()
+    }
+
+    /// The live record set in cache-log format — the `GET /v1/cache/sync`
+    /// response body a fresh peer warms up from.
+    pub fn sync_snapshot(&self) -> Vec<u8> {
+        lock(&self.inner.cache).export_live()
+    }
+
+    /// Warms this engine's cache from a peer's `/v1/cache/sync` stream,
+    /// verifying every record's checksum and persisting each one not
+    /// already resident. Meant to run before serving traffic (`malec-cli
+    /// serve --warm-from`): the cache lock is held for the whole ingest.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors, a non-200 peer answer, a stream that
+    /// is not a cache log, and local append failures.
+    pub fn warm_from(&self, addr: &str) -> io::Result<SyncReport> {
+        let (status, mut stream) =
+            crate::http::request_stream(addr, "GET", "/v1/cache/sync", Duration::from_secs(60))?;
+        if status != 200 {
+            return Err(io::Error::other(format!(
+                "peer {addr} answered {status} to GET /v1/cache/sync"
+            )));
+        }
+        lock(&self.inner.cache).ingest(&mut stream)
+    }
+
     /// Waits until every job settles (no cell pending — done or failed) or
     /// `deadline` elapses; returns whether everything settled. The drain
     /// half of graceful shutdown: the caller stops *submitting* first, so
@@ -800,7 +852,11 @@ fn process(inner: &EngineInner, unit: WorkUnit) {
             // in memory, so no other worker can race this append.
             if let Some(appender) = appender {
                 match appender.append(key, &summary) {
-                    Ok(bytes) => lock(&inner.cache).note_appended(bytes),
+                    Ok(bytes) => {
+                        let mut cache = lock(&inner.cache);
+                        cache.note_appended(bytes);
+                        maybe_compact(inner, &mut cache);
+                    }
                     // The in-memory entry took effect; losing persistence
                     // costs warm restarts, not correctness. (A torn append
                     // was already rolled back in place by the appender.)
@@ -824,6 +880,32 @@ fn process(inner: &EngineInner, unit: WorkUnit) {
                 );
             }
         }
+    }
+}
+
+/// Auto-compaction floor: a log smaller than this never auto-compacts,
+/// whatever its dead ratio — rewriting a near-empty log over and over buys
+/// nothing.
+const MIN_AUTO_COMPACT_BYTES: u64 = 4096;
+
+/// The `--compact-threshold` trigger, run after every successful append
+/// (under the cache lock the caller already holds): once dead bytes reach
+/// the configured fraction of the log's payload, rewrite in place. A
+/// failed compaction is logged and retried naturally at the next append.
+fn maybe_compact(inner: &EngineInner, cache: &mut ResultCache) {
+    let Some(threshold) = inner.compact_threshold else {
+        return;
+    };
+    let stats = cache.stats();
+    if stats.log_bytes < MIN_AUTO_COMPACT_BYTES || cache.dead_ratio() < threshold {
+        return;
+    }
+    match cache.compact() {
+        Ok(o) => eprintln!(
+            "malec-serve: auto-compacted cache log {} -> {} bytes ({} live records)",
+            o.bytes_before, o.bytes_after, o.records
+        ),
+        Err(e) => eprintln!("malec-serve: auto-compaction failed: {e}"),
     }
 }
 

@@ -8,6 +8,8 @@
 //! | `/v1/jobs/<id>/report`    | GET    | finished job's report (`run` JSON schema) |
 //! | `/v1/jobs/<id>/compare`   | GET    | paired delta report (`compare` schema)    |
 //! | `/v1/cache/stats`         | GET    | result-cache counters                     |
+//! | `/v1/cache/compact`       | POST   | rewrite the cache log to its live records |
+//! | `/v1/cache/sync`          | GET    | stream the live record set (peer warm-up) |
 //! | `/v1/healthz`             | GET    | liveness probe (+ pool health counters)   |
 //! | `/v1/shutdown`            | POST   | graceful drain + stop (`?mode=abort` to skip the drain) |
 //!
@@ -26,7 +28,7 @@
 //! to completion (bounded by [`ServeOptions::drain_timeout`]), fsync the
 //! cache log, exit. `POST /v1/shutdown?mode=abort` skips the drain.
 
-use std::io;
+use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -36,7 +38,9 @@ use std::time::Duration;
 
 use crate::cache::{CacheStats, FsyncPolicy};
 use crate::fault::{FaultAction, Faults};
-use crate::http::{read_request_deadline, write_response, write_response_with, Request};
+use crate::http::{
+    read_request_deadline, write_response, write_response_head, write_response_with, Request,
+};
 use crate::report::esc;
 use crate::scheduler::{CompareError, Engine, EngineOptions, JobStatus};
 use crate::spec::parse_spec;
@@ -71,6 +75,10 @@ pub struct ServeOptions {
     pub retain_done: usize,
     /// Terminal-job expiry TTL (`None`: count-based eviction only).
     pub job_ttl: Option<Duration>,
+    /// Cap on live cache bytes (`None`: unbounded).
+    pub cache_max_bytes: Option<u64>,
+    /// Auto-compaction dead-byte ratio (`None`: compaction on demand only).
+    pub compact_threshold: Option<f64>,
 }
 
 impl Default for ServeOptions {
@@ -87,6 +95,8 @@ impl Default for ServeOptions {
             drain_timeout: Duration::from_secs(30),
             retain_done: engine.retain_done,
             job_ttl: engine.job_ttl,
+            cache_max_bytes: engine.cache_max_bytes,
+            compact_threshold: engine.compact_threshold,
         }
     }
 }
@@ -149,6 +159,8 @@ impl Server {
             faults: Arc::clone(&opts.faults),
             retain_done: opts.retain_done,
             job_ttl: opts.job_ttl,
+            cache_max_bytes: opts.cache_max_bytes,
+            compact_threshold: opts.compact_threshold,
         })?);
         Ok(Self {
             listener,
@@ -387,6 +399,22 @@ fn route(stream: &mut TcpStream, engine: &Engine, request: &Request) -> Option<S
             let body = cache_stats_json(&engine.cache_stats(), engine);
             respond_json(stream, 200, &body);
         }
+        ("POST", "/v1/cache/compact") => match engine.compact_cache() {
+            Ok(o) => respond_json(
+                stream,
+                200,
+                &format!(
+                    "{{\n  \"compacted\": true,\n  \"bytes_before\": {},\n  \"bytes_after\": {},\n  \"live_records\": {}\n}}\n",
+                    o.bytes_before, o.bytes_after, o.records,
+                ),
+            ),
+            // In-memory caches have no log; a 400, not a server fault.
+            Err(e) if e.kind() == io::ErrorKind::InvalidInput => {
+                respond_error(stream, 400, &e.to_string());
+            }
+            Err(e) => respond_error(stream, 500, &e.to_string()),
+        },
+        ("GET", "/v1/cache/sync") => handle_cache_sync(stream, engine),
         ("GET", "/v1/healthz") => {
             let body = format!(
                 "{{\n  \"ok\": true,\n  \"workers\": {},\n  \"respawns\": {},\n  \"faults_fired\": {}\n}}\n",
@@ -451,6 +479,25 @@ fn handle_submit(stream: &mut TcpStream, engine: &Engine, request: &Request) {
         }
         Err(e) => respond_error(stream, 400, &e.to_string()),
     }
+}
+
+/// Streams the live record set in cache-log format. The body is written in
+/// two halves with the `cache.sync.stall` failpoint between them, so tests
+/// can deterministically cut or delay a sync mid-stream — the receiver's
+/// record-by-record verification keeps the delivered prefix either way.
+fn handle_cache_sync(stream: &mut TcpStream, engine: &Engine) {
+    let snapshot = engine.sync_snapshot();
+    if write_response_head(stream, 200, "application/octet-stream", snapshot.len()).is_err() {
+        return;
+    }
+    let half = snapshot.len() / 2;
+    if stream.write_all(&snapshot[..half]).is_err() {
+        return;
+    }
+    stream.flush().ok();
+    engine.faults().check_delay("cache.sync.stall");
+    stream.write_all(&snapshot[half..]).ok();
+    stream.flush().ok();
 }
 
 /// What a `/v1/jobs/<id>...` GET asks for.
@@ -522,13 +569,17 @@ pub fn job_status_json(s: &JobStatus) -> String {
 /// Renders the cache-stats endpoint JSON.
 fn cache_stats_json(stats: &CacheStats, engine: &Engine) -> String {
     format!(
-        "{{\n  \"entries\": {},\n  \"loaded_from_disk\": {},\n  \"hits\": {},\n  \"misses\": {},\n  \"coalesced\": {},\n  \"bytes_appended\": {},\n  \"persisted\": {},\n  \"workers\": {}\n}}\n",
+        "{{\n  \"entries\": {},\n  \"loaded_from_disk\": {},\n  \"hits\": {},\n  \"misses\": {},\n  \"coalesced\": {},\n  \"bytes_appended\": {},\n  \"log_bytes\": {},\n  \"live_bytes\": {},\n  \"evicted\": {},\n  \"compactions\": {},\n  \"persisted\": {},\n  \"workers\": {}\n}}\n",
         stats.entries,
         stats.loaded,
         stats.hits,
         stats.misses,
         stats.coalesced,
         stats.bytes_appended,
+        stats.log_bytes,
+        stats.live_bytes,
+        stats.evicted,
+        stats.compactions,
         engine
             .cache_path()
             .map_or_else(|| "null".to_owned(), |p| format!("\"{}\"", esc(&p.display().to_string()))),
@@ -742,6 +793,97 @@ mod tests {
         let (status, _) = get_json(addr, "/v1/healthz");
         assert_eq!(status, 200, "slot freed after the hog disconnected");
 
+        request(addr, "POST", "/v1/shutdown?mode=abort", b"").expect("shutdown");
+        server.join().expect("clean exit");
+    }
+
+    #[test]
+    fn cache_compact_and_sync_endpoints_work_end_to_end() {
+        use crate::http::request_stream;
+        use std::io::Read;
+
+        let dir = std::env::temp_dir().join(format!("malec_srv_lifecycle_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let cache_path = dir.join("results.cache");
+        std::fs::remove_file(&cache_path).ok();
+
+        let server = Server::bind_with(
+            "127.0.0.1:0",
+            ServeOptions {
+                workers: Some(2),
+                cache_path: Some(cache_path.clone()),
+                ..ServeOptions::default()
+            },
+        )
+        .expect("bind")
+        .spawn()
+        .expect("spawn");
+        let addr = server.addr();
+
+        let (status, _) = request(addr, "POST", "/v1/jobs", SPEC.as_bytes()).expect("submit");
+        assert_eq!(status, 202);
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            let (_, v) = get_json(addr, "/v1/jobs/1");
+            if v.get("state").and_then(Value::as_str) == Some("done") {
+                break;
+            }
+            assert!(Instant::now() < deadline, "job never finished");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+
+        // The stats endpoint reports the new lifecycle counters.
+        let (_, stats) = get_json(addr, "/v1/cache/stats");
+        let log_bytes = stats
+            .get("log_bytes")
+            .and_then(Value::as_u64)
+            .expect("log_bytes");
+        let live_bytes = stats
+            .get("live_bytes")
+            .and_then(Value::as_u64)
+            .expect("live_bytes");
+        assert!(log_bytes > 5 && live_bytes > 0, "{stats:?}");
+        assert_eq!(stats.get("evicted").and_then(Value::as_u64), Some(0));
+
+        // Compaction over a duplicate-free log is a no-op in size but a
+        // real rewrite (the counter moves).
+        let (status, body) = request(addr, "POST", "/v1/cache/compact", b"").expect("compact");
+        assert_eq!(status, 200, "{body}");
+        let v = parse(&body).expect("compact response parses");
+        assert_eq!(v.get("compacted").and_then(Value::as_bool), Some(true));
+        assert_eq!(
+            v.get("bytes_after").and_then(Value::as_u64),
+            Some(log_bytes)
+        );
+        let (_, stats) = get_json(addr, "/v1/cache/stats");
+        assert_eq!(stats.get("compactions").and_then(Value::as_u64), Some(1));
+
+        // The sync stream is a valid cache log: header + the live records.
+        let (status, mut body) =
+            request_stream(addr, "GET", "/v1/cache/sync", Duration::from_secs(10))
+                .expect("sync stream");
+        assert_eq!(status, 200);
+        let mut snapshot = Vec::new();
+        body.read_to_end(&mut snapshot).expect("read stream");
+        assert_eq!(&snapshot[..4], b"MSRC", "stream is a cache log");
+        assert_eq!(
+            snapshot.len() as u64,
+            5 + live_bytes,
+            "exactly the live set"
+        );
+
+        request(addr, "POST", "/v1/shutdown", b"").expect("shutdown");
+        server.join().expect("clean exit");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compacting_an_in_memory_cache_is_a_clean_400() {
+        let server = start();
+        let addr = server.addr();
+        let (status, body) = request(addr, "POST", "/v1/cache/compact", b"").expect("compact");
+        assert_eq!(status, 400, "{body}");
+        assert!(body.contains("in-memory"), "{body}");
         request(addr, "POST", "/v1/shutdown?mode=abort", b"").expect("shutdown");
         server.join().expect("clean exit");
     }

@@ -160,14 +160,14 @@ fn pristine_log() -> &'static PristineLog {
         let bytes = std::fs::read(&path).expect("read log");
         std::fs::remove_dir_all(&dir).ok();
 
-        // Walk the record frames: key u128 | len u32 | sum u64 | body.
+        // Walk the record frames: key u128 | ver u8 | len u32 | sum u64 | body.
         let mut starts = Vec::new();
         let mut off = 5; // magic + version
         while off < bytes.len() {
             starts.push(off);
             let len =
-                u32::from_le_bytes(bytes[off + 16..off + 20].try_into().expect("len")) as usize;
-            off += 16 + 4 + 8 + len;
+                u32::from_le_bytes(bytes[off + 17..off + 21].try_into().expect("len")) as usize;
+            off += 16 + 1 + 4 + 8 + len;
         }
         assert_eq!(off, bytes.len(), "log parses to a whole number of records");
         assert_eq!(starts.len(), 4, "4 replicate cells, 4 records");
@@ -390,6 +390,7 @@ fn crash_mid_append_recovers_warm_on_restart() {
     // header, body cut short), as `kill -9` mid-append would leave it.
     let intact = std::fs::metadata(&cache_path).expect("meta").len();
     let mut torn = vec![0xABu8; 16]; // key
+    torn.push(2); // key-version byte
     torn.extend_from_slice(&400u32.to_le_bytes()); // claims 400 body bytes
     torn.extend_from_slice(&0xDEAD_BEEFu64.to_le_bytes()); // sum
     torn.extend_from_slice(&[0x55; 37]); // ...but only 37 arrived
