@@ -1,0 +1,80 @@
+//! Determinism pass: the golden-digest crates must stay bit-stable.
+//!
+//! The repo's strongest regression net is its golden digests: 24
+//! benchmark, 10 scenario and 5 compare digests that must reproduce
+//! bit-for-bit on every machine and every run. Three things quietly
+//! break that property without failing any test locally:
+//!
+//! * iterating a `HashMap`/`HashSet` (randomized iteration order leaks
+//!   into any fold over the entries — use `BTreeMap`/`BTreeSet` or a
+//!   sorted `Vec`);
+//! * reading the wall clock (`Instant::now`, `SystemTime`) anywhere a
+//!   value can flow into an output;
+//! * branching on the environment (`std::env::var`, `env!`).
+//!
+//! This pass forbids all three in the digest-bearing crates, outside
+//! `#[cfg(test)]`. Timing belongs in `malec-bench`'s measurement layer,
+//! which is deliberately out of scope here.
+
+use crate::lexer::Kind;
+use crate::{Finding, Unit};
+
+/// Crates whose outputs feed golden digests.
+const GOLDEN: &[&str] = &[
+    "crates/core/src/",
+    "crates/mem/src/",
+    "crates/cpu/src/",
+    "crates/trace/src/",
+    "crates/energy/src/",
+    "crates/types/src/",
+];
+
+/// Runs the pass.
+pub fn run(units: &[Unit]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for u in units {
+        if !GOLDEN.iter().any(|p| u.path.starts_with(p)) {
+            continue;
+        }
+        let toks = &u.lexed.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            if t.in_test || t.kind != Kind::Ident {
+                continue;
+            }
+            let msg = match t.text.as_str() {
+                "HashMap" | "HashSet" => Some(format!(
+                    "`{}` has randomized iteration order — use a BTree collection or a \
+                     sorted Vec in a golden-digest crate",
+                    t.text
+                )),
+                "Instant" | "SystemTime" => Some(format!(
+                    "`{}` reads the wall clock — timing belongs in the bench layer, not a \
+                     golden-digest crate",
+                    t.text
+                )),
+                "env" => {
+                    // `env::…` path or `env!(…)` macro; a variable named
+                    // `env` on its own is fine.
+                    let after_path = toks.get(i + 1).is_some_and(|n| n.kind == Kind::Punct(':'))
+                        && toks.get(i + 2).is_some_and(|n| n.kind == Kind::Punct(':'));
+                    let is_macro = toks.get(i + 1).is_some_and(|n| n.kind == Kind::Punct('!'));
+                    (after_path || is_macro).then(|| {
+                        "environment-dependent value in a golden-digest crate — outputs \
+                         must not vary by machine"
+                            .to_owned()
+                    })
+                }
+                _ => None,
+            };
+            if let Some(message) = msg {
+                findings.push(Finding {
+                    path: u.path.clone(),
+                    line: t.line,
+                    lint: "determinism".to_owned(),
+                    message,
+                });
+            }
+        }
+    }
+    findings
+}

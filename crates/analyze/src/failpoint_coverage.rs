@@ -1,0 +1,201 @@
+//! Failpoint-coverage pass: every fault hook is real, documented, and
+//! exercised.
+//!
+//! Fault injection is only as good as its registry hygiene. A failpoint
+//! name that drifts from `KNOWN_POINTS` is silently never armed; a site
+//! armed twice makes a `@N`-scheduled fault fire at the wrong place; an
+//! undocumented point is invisible to operators writing fault specs;
+//! and a point no test references is untested crash-handling code —
+//! exactly the code that must not be wrong.
+//!
+//! The pass cross-references four things and fails on any mismatch:
+//!
+//! 1. every `faults.check("…")` / `check_delay("…", …)` call site names
+//!    a registered point, and each point is armed at exactly one site;
+//! 2. every registered point has a row in the fault-table doc comment
+//!    at the top of `fault.rs` (and the table has no stale rows);
+//! 3. every registered point appears in at least one test — a string
+//!    literal containing the name in `tests/*.rs` or in `#[cfg(test)]`
+//!    code (schedule strings like `"worker.panic@2"` count).
+
+use crate::lexer::Kind;
+use crate::{Finding, Unit};
+
+const FAULT_RS: &str = "crates/serve/src/fault.rs";
+
+/// Runs the pass.
+pub fn run(units: &[Unit]) -> Vec<Finding> {
+    let Some(fault) = units.iter().find(|u| u.path == FAULT_RS) else {
+        return Vec::new(); // nothing to check outside the full workspace
+    };
+    let mut findings = Vec::new();
+
+    let (known, known_line) = known_points(fault);
+    let documented = doc_table(fault);
+    let sites = call_sites(units);
+
+    // 1. Sites name registered points, one site per point.
+    let mut armed: Vec<&str> = Vec::new();
+    for (name, path, line) in &sites {
+        if !known.iter().any(|k| k == name) {
+            findings.push(Finding {
+                path: path.clone(),
+                line: *line,
+                lint: "failpoint-coverage".to_owned(),
+                message: format!("failpoint `{name}` is not registered in KNOWN_POINTS"),
+            });
+        }
+        if armed.contains(&name.as_str()) {
+            findings.push(Finding {
+                path: path.clone(),
+                line: *line,
+                lint: "failpoint-coverage".to_owned(),
+                message: format!(
+                    "failpoint `{name}` is armed at more than one site — `@N` schedules \
+                     would fire ambiguously"
+                ),
+            });
+        } else {
+            armed.push(name);
+        }
+    }
+
+    for name in &known {
+        // 2. Registered points are armed and documented.
+        if !sites.iter().any(|(n, _, _)| n == name) {
+            findings.push(at_registry(
+                fault,
+                known_line,
+                format!("failpoint `{name}` is registered but never armed at any call site"),
+            ));
+        }
+        if !documented.iter().any(|d| d == name) {
+            findings.push(at_registry(
+                fault,
+                known_line,
+                format!("failpoint `{name}` has no row in the fault-table doc comment"),
+            ));
+        }
+        // 3. Registered points are exercised by at least one test.
+        if !test_references(units, name) {
+            findings.push(at_registry(
+                fault,
+                known_line,
+                format!("failpoint `{name}` is never referenced by any test"),
+            ));
+        }
+    }
+
+    for d in &documented {
+        if !known.iter().any(|k| k == d) {
+            findings.push(at_registry(
+                fault,
+                known_line,
+                format!("fault-table documents `{d}`, which is not a registered failpoint"),
+            ));
+        }
+    }
+
+    findings
+}
+
+fn at_registry(fault: &Unit, line: u32, message: String) -> Finding {
+    Finding {
+        path: fault.path.clone(),
+        line,
+        lint: "failpoint-coverage".to_owned(),
+        message,
+    }
+}
+
+/// Extracts the `KNOWN_POINTS` array: the string literals between the
+/// `[` and `]` that follow the identifier. Returns the names and the
+/// line of the registry (diagnostics anchor).
+fn known_points(fault: &Unit) -> (Vec<String>, u32) {
+    let toks = &fault.lexed.tokens;
+    let Some(start) = toks
+        .iter()
+        .position(|t| t.kind == Kind::Ident && t.text == "KNOWN_POINTS" && !t.in_test)
+    else {
+        return (Vec::new(), 1);
+    };
+    let line = toks[start].line;
+    // The value array is the `[` after the `=` — not the one in the
+    // `&[&str]` type annotation.
+    let mut names = Vec::new();
+    let mut seen_eq = false;
+    let mut in_array = false;
+    for t in &toks[start..] {
+        match &t.kind {
+            Kind::Punct('=') => seen_eq = true,
+            Kind::Punct('[') if seen_eq => in_array = true,
+            Kind::Punct(']') if in_array => break,
+            Kind::Str if in_array => names.push(t.text.clone()),
+            _ => {}
+        }
+    }
+    (names, line)
+}
+
+/// Parses the fault-table rows out of `fault.rs`'s doc comments: lines
+/// shaped `| `name` | kind | … |`, taking the backtick-quoted first cell.
+fn doc_table(fault: &Unit) -> Vec<String> {
+    let mut names = Vec::new();
+    for c in &fault.lexed.comments {
+        let row = c.text.trim_start_matches(['/', '!']).trim();
+        if !row.starts_with('|') {
+            continue;
+        }
+        let mut parts = row.split('`');
+        if let (Some(_), Some(name)) = (parts.next(), parts.next()) {
+            let name = name.trim();
+            if !name.is_empty() && !name.contains(' ') && name.contains('.') {
+                names.push(name.to_owned());
+            }
+        }
+    }
+    names
+}
+
+/// Finds every arming site: `.check("name")` / `.check_delay("name", …)`
+/// on non-test code in `crates/serve/src`.
+fn call_sites(units: &[Unit]) -> Vec<(String, String, u32)> {
+    let mut sites = Vec::new();
+    for u in units {
+        if !u.path.starts_with("crates/serve/src/") {
+            continue;
+        }
+        let toks = &u.lexed.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            if t.in_test || t.kind != Kind::Ident {
+                continue;
+            }
+            if t.text != "check" && t.text != "check_delay" {
+                continue;
+            }
+            let dotted = i > 0 && toks[i - 1].kind == Kind::Punct('.');
+            let open = toks.get(i + 1).is_some_and(|n| n.kind == Kind::Punct('('));
+            if !dotted || !open {
+                continue;
+            }
+            if let Some(arg) = toks.get(i + 2) {
+                if arg.kind == Kind::Str {
+                    sites.push((arg.text.clone(), u.path.clone(), t.line));
+                }
+            }
+        }
+    }
+    sites
+}
+
+/// Whether any test mentions `name` inside a string literal — tokens in
+/// `tests/*.rs` files or inside `#[cfg(test)]` regions anywhere.
+fn test_references(units: &[Unit], name: &str) -> bool {
+    units.iter().any(|u| {
+        let test_file = u.path.starts_with("tests/");
+        u.lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == Kind::Str && (test_file || t.in_test) && t.text.contains(name))
+    })
+}

@@ -1,0 +1,657 @@
+//! A hand-rolled Rust lexer, just deep enough for lexical lints.
+//!
+//! The analysis passes need a token stream that gets four famously
+//! comment-adjacent things right — everything a `grep`-based lint trips
+//! over:
+//!
+//! * **raw strings** (`r"…"`, `r#"…"#`, any hash depth, plus `b`/`br`
+//!   variants): a `.unwrap()` *inside* a string literal is data, not code;
+//! * **nested block comments** (`/* /* */ */`), which Rust allows and
+//!   regex-based scanners get wrong;
+//! * **`'a` lifetime vs `'a'` char**, so a lifetime never opens a
+//!   phantom character literal that swallows real code;
+//! * **`#[cfg(test)]` regions**: every token is flagged with whether it
+//!   sits inside a test-only item, because most lints apply to production
+//!   code only.
+//!
+//! The lexer never fails and never panics: on bytes that are not valid
+//! Rust it degrades to single-character punctuation tokens and keeps
+//! going (a property test feeds it arbitrary bytes). Precision beyond
+//! what the passes read — numeric suffixes, operator glyph grouping —
+//! is deliberately out of scope.
+
+/// What a token is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Kind {
+    /// An identifier or keyword (including raw `r#ident` forms).
+    Ident,
+    /// A lifetime (`'a`, `'static`) — *not* a char literal.
+    Lifetime,
+    /// A character or byte-character literal (`'a'`, `b'\n'`).
+    Char,
+    /// Any string literal; `text` holds the inner bytes verbatim
+    /// (escapes unprocessed, raw-string hashes stripped).
+    Str,
+    /// A numeric literal.
+    Num,
+    /// A single punctuation character.
+    Punct(char),
+}
+
+/// One token, with its 1-based source line and test-region flag.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// The token class.
+    pub kind: Kind,
+    /// Identifier name / literal payload; empty for punctuation.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+    /// Whether the token sits inside a `#[cfg(test)]` / `#[test]` item.
+    pub in_test: bool,
+}
+
+/// One comment (line or block), with the line it starts on. Block
+/// comments keep their interior verbatim; line comments drop the `//`.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Comment text without the opening delimiter.
+    pub text: String,
+}
+
+/// The full lexical view of one source file.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    /// Code tokens, in order, with test regions marked.
+    pub tokens: Vec<Token>,
+    /// Comments, in order (the suppression and doc-table carriers).
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Tokenizes `src`. Total: consumes every byte, never panics.
+pub fn lex(src: &str) -> Lexed {
+    let bytes = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut pos = 0usize;
+    let mut line = 1u32;
+
+    macro_rules! push {
+        ($kind:expr, $text:expr, $line:expr) => {
+            out.tokens.push(Token {
+                kind: $kind,
+                text: $text,
+                line: $line,
+                in_test: false,
+            })
+        };
+    }
+
+    while pos < bytes.len() {
+        let b = bytes[pos];
+        match b {
+            b'\n' => {
+                line += 1;
+                pos += 1;
+            }
+            b' ' | b'\t' | b'\r' => pos += 1,
+            b'/' if bytes.get(pos + 1) == Some(&b'/') => {
+                let start = pos + 2;
+                let mut end = start;
+                while end < bytes.len() && bytes[end] != b'\n' {
+                    end += 1;
+                }
+                out.comments.push(Comment {
+                    line,
+                    text: String::from_utf8_lossy(&bytes[start..end]).into_owned(),
+                });
+                pos = end;
+            }
+            b'/' if bytes.get(pos + 1) == Some(&b'*') => {
+                // Nested block comment: depth-counted, newline-counted.
+                let comment_line = line;
+                let start = pos + 2;
+                let mut depth = 1usize;
+                let mut end = start;
+                while end < bytes.len() && depth > 0 {
+                    if bytes[end] == b'\n' {
+                        line += 1;
+                        end += 1;
+                    } else if bytes[end] == b'/' && bytes.get(end + 1) == Some(&b'*') {
+                        depth += 1;
+                        end += 2;
+                    } else if bytes[end] == b'*' && bytes.get(end + 1) == Some(&b'/') {
+                        depth -= 1;
+                        end += 2;
+                    } else {
+                        end += 1;
+                    }
+                }
+                let body_end = end.saturating_sub(2).max(start);
+                out.comments.push(Comment {
+                    line: comment_line,
+                    text: String::from_utf8_lossy(&bytes[start..body_end]).into_owned(),
+                });
+                pos = end;
+            }
+            b'r' | b'b' => {
+                // r"…" / r#"…"# / b"…" / br#"…"# / b'…' / plain ident.
+                let mut j = pos + 1;
+                let mut is_raw = b == b'r';
+                if b == b'b' {
+                    if bytes.get(j) == Some(&b'r') {
+                        is_raw = true;
+                        j += 1;
+                    } else if bytes.get(j) == Some(&b'\'') {
+                        // Byte-char literal: delegate to the char scanner.
+                        let (tok, npos, nline) = lex_char_or_lifetime(bytes, j, line);
+                        pos = npos;
+                        line = nline;
+                        if let Some(t) = tok {
+                            out.tokens.push(t);
+                        }
+                        continue;
+                    }
+                }
+                let mut hashes = 0usize;
+                if is_raw {
+                    while bytes.get(j + hashes) == Some(&b'#') {
+                        hashes += 1;
+                    }
+                }
+                if (is_raw || b == b'b') && bytes.get(j + hashes) == Some(&b'"') && hashes == 0
+                    || is_raw && bytes.get(j + hashes) == Some(&b'"')
+                {
+                    if is_raw {
+                        // Raw (byte) string: ends at `"` + `hashes` hashes.
+                        let body_start = j + hashes + 1;
+                        let tok_line = line;
+                        let mut end = body_start;
+                        loop {
+                            match bytes.get(end) {
+                                None => break,
+                                Some(b'\n') => {
+                                    line += 1;
+                                    end += 1;
+                                }
+                                Some(b'"') => {
+                                    let close = &bytes[end + 1..];
+                                    if close.len() >= hashes
+                                        && close[..hashes].iter().all(|&h| h == b'#')
+                                    {
+                                        break;
+                                    }
+                                    end += 1;
+                                }
+                                Some(_) => end += 1,
+                            }
+                        }
+                        push!(
+                            Kind::Str,
+                            String::from_utf8_lossy(&bytes[body_start..end.min(bytes.len())])
+                                .into_owned(),
+                            tok_line
+                        );
+                        pos = (end + 1 + hashes).min(bytes.len() + 1);
+                    } else {
+                        // b"…": a cooked byte string.
+                        let (text, npos, nline) = lex_cooked_string(bytes, j + 1, line);
+                        push!(Kind::Str, text, line);
+                        pos = npos;
+                        line = nline;
+                    }
+                } else if hashes > 0 && bytes.get(j + hashes).copied().is_some_and(is_ident_start) {
+                    // Raw identifier r#ident.
+                    let name_start = j + hashes;
+                    let mut end = name_start;
+                    while end < bytes.len() && is_ident_continue(bytes[end]) {
+                        end += 1;
+                    }
+                    push!(
+                        Kind::Ident,
+                        String::from_utf8_lossy(&bytes[name_start..end]).into_owned(),
+                        line
+                    );
+                    pos = end;
+                } else {
+                    // Plain identifier starting with r or b.
+                    let mut end = pos;
+                    while end < bytes.len() && is_ident_continue(bytes[end]) {
+                        end += 1;
+                    }
+                    push!(
+                        Kind::Ident,
+                        String::from_utf8_lossy(&bytes[pos..end]).into_owned(),
+                        line
+                    );
+                    pos = end;
+                }
+            }
+            b'"' => {
+                let tok_line = line;
+                let (text, npos, nline) = lex_cooked_string(bytes, pos + 1, line);
+                push!(Kind::Str, text, tok_line);
+                pos = npos;
+                line = nline;
+            }
+            b'\'' => {
+                let (tok, npos, nline) = lex_char_or_lifetime(bytes, pos, line);
+                pos = npos;
+                line = nline;
+                if let Some(t) = tok {
+                    out.tokens.push(t);
+                }
+            }
+            _ if is_ident_start(b) => {
+                let mut end = pos;
+                while end < bytes.len() && is_ident_continue(bytes[end]) {
+                    end += 1;
+                }
+                push!(
+                    Kind::Ident,
+                    String::from_utf8_lossy(&bytes[pos..end]).into_owned(),
+                    line
+                );
+                pos = end;
+            }
+            _ if b.is_ascii_digit() => {
+                let mut end = pos + 1;
+                loop {
+                    match bytes.get(end) {
+                        Some(&c) if is_ident_continue(c) => end += 1,
+                        // A dot continues the number only before a digit
+                        // (so `0..10` stays a range, not a float).
+                        Some(b'.')
+                            if bytes.get(end + 1).is_some_and(u8::is_ascii_digit)
+                                && !bytes[pos..end].contains(&b'.') =>
+                        {
+                            end += 1;
+                        }
+                        _ => break,
+                    }
+                }
+                push!(
+                    Kind::Num,
+                    String::from_utf8_lossy(&bytes[pos..end]).into_owned(),
+                    line
+                );
+                pos = end;
+            }
+            _ if b.is_ascii() => {
+                push!(Kind::Punct(b as char), String::new(), line);
+                pos += 1;
+            }
+            _ => {
+                // Non-ASCII outside a string/comment: not valid Rust at
+                // top level; skip the byte, stay total.
+                pos += 1;
+            }
+        }
+    }
+
+    mark_test_regions(&mut out.tokens);
+    out
+}
+
+/// Scans a cooked (escaped) string body starting *after* the opening
+/// quote. Returns (inner text, position past the closing quote, line).
+fn lex_cooked_string(bytes: &[u8], start: usize, mut line: u32) -> (String, usize, u32) {
+    let mut end = start;
+    loop {
+        match bytes.get(end) {
+            None => break,
+            Some(b'\\') => end = (end + 2).min(bytes.len()),
+            Some(b'"') => break,
+            Some(b'\n') => {
+                line += 1;
+                end += 1;
+            }
+            Some(_) => end += 1,
+        }
+    }
+    let text = String::from_utf8_lossy(&bytes[start..end.min(bytes.len())]).into_owned();
+    (text, (end + 1).min(bytes.len() + 1), line)
+}
+
+/// Disambiguates `'` at `pos`: lifetime, char literal, or stray quote.
+fn lex_char_or_lifetime(bytes: &[u8], pos: usize, line: u32) -> (Option<Token>, usize, u32) {
+    let make = |kind: Kind, text: String| {
+        Some(Token {
+            kind,
+            text,
+            line,
+            in_test: false,
+        })
+    };
+    match bytes.get(pos + 1) {
+        // Escaped char literal: skip the escape head, then scan to the
+        // closing quote (bounded by end-of-line — a lost quote must not
+        // swallow the rest of the file).
+        Some(b'\\') => {
+            let mut end = pos + 3;
+            while end < bytes.len() && bytes[end] != b'\'' && bytes[end] != b'\n' {
+                end += 1;
+            }
+            (
+                make(Kind::Char, String::new()),
+                (end + 1).min(bytes.len() + 1),
+                line,
+            )
+        }
+        Some(&c) if is_ident_start(c) => {
+            // Identifier run: `'a'` is a char, `'a` / `'static` a lifetime.
+            let mut end = pos + 1;
+            while end < bytes.len() && is_ident_continue(bytes[end]) {
+                end += 1;
+            }
+            if bytes.get(end) == Some(&b'\'') {
+                (make(Kind::Char, String::new()), end + 1, line)
+            } else {
+                (
+                    make(
+                        Kind::Lifetime,
+                        String::from_utf8_lossy(&bytes[pos + 1..end]).into_owned(),
+                    ),
+                    end,
+                    line,
+                )
+            }
+        }
+        // Any other single char (possibly multibyte) closed by a quote.
+        Some(&c) if c != b'\'' && c != b'\n' => {
+            let mut end = pos + 2;
+            while end < bytes.len() && (bytes[end] & 0xc0) == 0x80 {
+                end += 1; // UTF-8 continuation bytes of a multibyte char
+            }
+            if bytes.get(end) == Some(&b'\'') {
+                (make(Kind::Char, String::new()), end + 1, line)
+            } else {
+                (make(Kind::Punct('\''), String::new()), pos + 1, line)
+            }
+        }
+        _ => (make(Kind::Punct('\''), String::new()), pos + 1, line),
+    }
+}
+
+/// Flags every token inside a `#[cfg(test)]`- or `#[test]`-attributed
+/// item (attribute through end of the item's body or its `;`).
+///
+/// Recognized exactly: `#[test]` and `#[cfg(test)]`. Compound forms like
+/// `#[cfg(all(test, unix))]` are *not* treated as test regions — the
+/// lints stay conservative and the workspace does not use them.
+fn mark_test_regions(tokens: &mut [Token]) {
+    let mut i = 0;
+    while i < tokens.len() {
+        let Some((is_test, mut j)) = parse_attr(tokens, i) else {
+            i += 1;
+            continue;
+        };
+        if !is_test {
+            i = j;
+            continue;
+        }
+        // Skip any further outer attributes stacked on the same item.
+        while let Some((_, next)) = parse_attr(tokens, j) {
+            j = next;
+        }
+        // Find the item's extent: first `{…}` body or `;` outside
+        // parens/brackets.
+        let mut depth = 0i32;
+        while j < tokens.len() {
+            match tokens[j].kind {
+                Kind::Punct('(') | Kind::Punct('[') => depth += 1,
+                Kind::Punct(')') | Kind::Punct(']') => depth -= 1,
+                Kind::Punct('{') if depth == 0 => {
+                    j = match_brace(tokens, j);
+                    break;
+                }
+                Kind::Punct(';') if depth == 0 => {
+                    j += 1;
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let end = j.min(tokens.len());
+        for t in &mut tokens[i..end] {
+            t.in_test = true;
+        }
+        i = j.max(i + 1);
+    }
+}
+
+/// If `i` starts an outer attribute `#[…]`, returns
+/// `(is_test_attribute, index past the closing bracket)`.
+fn parse_attr(tokens: &[Token], i: usize) -> Option<(bool, usize)> {
+    if tokens.get(i)?.kind != Kind::Punct('#') || tokens.get(i + 1)?.kind != Kind::Punct('[') {
+        return None;
+    }
+    let mut depth = 1i32;
+    let mut j = i + 2;
+    while j < tokens.len() && depth > 0 {
+        match tokens[j].kind {
+            Kind::Punct('[') => depth += 1,
+            Kind::Punct(']') => depth -= 1,
+            _ => {}
+        }
+        j += 1;
+    }
+    let inner = &tokens[i + 2..j.saturating_sub(1).max(i + 2)];
+    let texts: Vec<&str> = inner
+        .iter()
+        .map(|t| {
+            if t.kind == Kind::Ident {
+                t.text.as_str()
+            } else {
+                ""
+            }
+        })
+        .collect();
+    let is_test = matches!(texts.as_slice(), ["test"])
+        || (inner.len() == 4
+            && texts.as_slice() == ["cfg", "", "test", ""]
+            && inner[1].kind == Kind::Punct('(')
+            && inner[3].kind == Kind::Punct(')'));
+    Some((is_test, j))
+}
+
+/// Given `i` at a `{`, returns the index past its matching `}`.
+fn match_brace(tokens: &[Token], i: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < tokens.len() {
+        match tokens[j].kind {
+            Kind::Punct('{') => depth += 1,
+            Kind::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    tokens.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == Kind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn raw_strings_hide_their_contents() {
+        // `.unwrap()` inside raw strings of several hash depths is data.
+        let src = r####"let a = r"x.unwrap()"; let b = r#"y.unwrap()"#; let c = r###"z"# .unwrap()"###;"####;
+        let names = idents(src);
+        assert!(!names.contains(&"unwrap".to_owned()), "{names:?}");
+        let strs: Vec<String> = lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == Kind::Str)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(strs.len(), 3);
+        assert_eq!(strs[0], "x.unwrap()");
+        assert_eq!(strs[2], r##"z"# .unwrap()"##);
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_the_right_depth() {
+        let src = "a /* one /* two */ still comment .unwrap() */ b";
+        let names = idents(src);
+        assert_eq!(names, ["a", "b"]);
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("still comment"));
+    }
+
+    #[test]
+    fn lifetime_vs_char_literal() {
+        let src = "fn f<'a>(x: &'a str) -> char { let c = 'a'; let n = '\\n'; c }";
+        let lexed = lex(src);
+        let lifetimes: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == Kind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["a", "a"], "two lifetime positions");
+        let chars = lexed.tokens.iter().filter(|t| t.kind == Kind::Char).count();
+        assert_eq!(chars, 2, "'a' and '\\n'");
+        // The char literals did not swallow the trailing code.
+        assert!(idents(src).contains(&"c".to_owned()));
+    }
+
+    #[test]
+    fn byte_literals_and_byte_strings() {
+        let src = r##"let a = b'\n'; let b = b"GET /"; let c = br#"raw"#;"##;
+        let lexed = lex(src);
+        assert_eq!(
+            lexed.tokens.iter().filter(|t| t.kind == Kind::Char).count(),
+            1
+        );
+        let strs: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == Kind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, ["GET /", "raw"]);
+    }
+
+    #[test]
+    fn cfg_test_region_boundaries_are_exact() {
+        let src = "fn live() { x.unwrap(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n    fn t() { y.unwrap(); }\n}\n\
+                   fn live_again() { z.unwrap(); }\n";
+        let lexed = lex(src);
+        let unwraps: Vec<(u32, bool)> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == Kind::Ident && t.text == "unwrap")
+            .map(|t| (t.line, t.in_test))
+            .collect();
+        assert_eq!(unwraps, [(1, false), (4, true), (6, false)]);
+    }
+
+    #[test]
+    fn test_attribute_marks_only_its_function() {
+        let src = "#[test]\nfn a_test() { x.unwrap() }\nfn live() { y.unwrap() }";
+        let flags: Vec<bool> = lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.text == "unwrap")
+            .map(|t| t.in_test)
+            .collect();
+        assert_eq!(flags, [true, false]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src = "#[cfg(not(test))]\nfn shipped() { x.unwrap() }";
+        let lexed = lex(src);
+        assert!(lexed
+            .tokens
+            .iter()
+            .filter(|t| t.text == "unwrap")
+            .all(|t| !t.in_test));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let src = "/* a\nb */\nr#\"x\ny\"#\n\"p\\\"\nq\"\nident";
+        let lexed = lex(src);
+        let id = lexed
+            .tokens
+            .iter()
+            .find(|t| t.kind == Kind::Ident)
+            .expect("ident");
+        assert_eq!(id.line, 7);
+    }
+
+    #[test]
+    fn lone_quote_and_truncated_input_stay_total() {
+        for src in ["'", "'\\", "r#\"never closed", "\"open", "b'", "/* open"] {
+            let _ = lex(src); // must not panic or hang
+        }
+    }
+
+    // Lexer-construct openers, so random concatenations land on the
+    // nastiest boundaries (a raw string opened and never closed, a quote
+    // before a multibyte char, a comment opener at EOF, …).
+    const FRAGMENTS: [&str; 14] = [
+        "r#\"", "\"#", "r\"", "br##\"", "b'", "'", "'\\", "/*", "*/", "//", "\\", "\"", "é", "\n",
+    ];
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// The lexer is total on arbitrary byte soup: no panic, no hang,
+        /// and every token's line stays within the input's line count.
+        #[test]
+        fn lexing_arbitrary_bytes_never_panics(
+            words in proptest::collection::vec(proptest::num::u64::ANY, 0..32),
+        ) {
+            let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+            let src = String::from_utf8_lossy(&bytes).into_owned();
+            let lines = src.lines().count().max(1) as u32;
+            let lexed = lex(&src);
+            for t in &lexed.tokens {
+                prop_assert!(t.line >= 1 && t.line <= lines, "line {} of {lines}", t.line);
+            }
+        }
+
+        /// Same totality under adversarial concatenations of the lexer's
+        /// own construct openers (unclosed raw strings, stray quotes,
+        /// comment markers at EOF, multibyte chars mid-literal).
+        #[test]
+        fn lexing_hostile_fragment_mixes_never_panics(
+            picks in proptest::collection::vec(0usize..FRAGMENTS.len(), 0..24),
+        ) {
+            let src: String = picks.iter().map(|&i| FRAGMENTS[i]).collect();
+            let _ = lex(&src);
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Panic-surface pass: request-path code must not be able to panic.
+//!
+//! The serving layer survives panicking *workers* by design (panic-safe
+//! worker loops, poison-recovering locks), but a panic while parsing a
+//! request, replaying the cache log, or framing a response tears down
+//! the connection handler and turns one malformed byte into a 5xx for a
+//! well-formed peer. The modules on that path parse untrusted bytes and
+//! must stay total.
+//!
+//! Within the request-path modules, outside `#[cfg(test)]`, this pass
+//! forbids:
+//!
+//! * `.unwrap()` / `.expect(…)` — convert to an error return, or
+//!   annotate the invariant that makes the value present;
+//! * `panic!` / `unreachable!` / `todo!` / `unimplemented!`;
+//! * slice/map indexing (`buf[i]`, `map[&k]`, `&rec[a..b]`) — use
+//!   `.get(…)` and handle `None`.
+//!
+//! Invariant-backed exceptions carry an
+//! `// analyze: allow(panic-surface) <why>` annotation; the reason is
+//! mandatory and audited.
+
+use crate::lexer::Kind;
+use crate::{Finding, Unit, KEYWORDS};
+
+/// Modules on the request path: HTTP framing, body/config parsing, the
+/// cache log replay, and the client-side response parser.
+const REQUEST_PATH: &[&str] = &[
+    "crates/serve/src/http.rs",
+    "crates/serve/src/json.rs",
+    "crates/serve/src/toml.rs",
+    "crates/serve/src/cache.rs",
+    "crates/serve/src/client.rs",
+];
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Runs the pass.
+pub fn run(units: &[Unit]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for u in units {
+        if !REQUEST_PATH.contains(&u.path.as_str()) {
+            continue;
+        }
+        let toks = &u.lexed.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            if t.in_test {
+                continue;
+            }
+            let prev = i.checked_sub(1).map(|p| &toks[p].kind);
+            let next = toks.get(i + 1).map(|n| &n.kind);
+            match &t.kind {
+                Kind::Ident
+                    if (t.text == "unwrap" || t.text == "expect")
+                        && prev == Some(&Kind::Punct('.'))
+                        && next == Some(&Kind::Punct('(')) =>
+                {
+                    findings.push(finding(
+                        u,
+                        t.line,
+                        format!(
+                            "`.{}(…)` on the request path — return an error, or \
+                             annotate the invariant that rules the panic out",
+                            t.text
+                        ),
+                    ));
+                }
+                Kind::Ident
+                    if PANIC_MACROS.contains(&t.text.as_str())
+                        && next == Some(&Kind::Punct('!')) =>
+                {
+                    findings.push(finding(
+                        u,
+                        t.line,
+                        format!(
+                            "`{}!` on the request path — return an error instead",
+                            t.text
+                        ),
+                    ));
+                }
+                Kind::Punct('[') => {
+                    let indexes = match i.checked_sub(1).map(|p| &toks[p]) {
+                        Some(p) => match &p.kind {
+                            Kind::Ident => !KEYWORDS.contains(&p.text.as_str()),
+                            Kind::Punct(')') | Kind::Punct(']') => true,
+                            _ => false,
+                        },
+                        None => false,
+                    };
+                    if indexes {
+                        findings.push(finding(
+                            u,
+                            t.line,
+                            "indexing can panic on the request path — use `.get(…)` and \
+                             handle `None`"
+                                .to_owned(),
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    findings
+}
+
+fn finding(u: &Unit, line: u32, message: String) -> Finding {
+    Finding {
+        path: u.path.clone(),
+        line,
+        lint: "panic-surface".to_owned(),
+        message,
+    }
+}

@@ -46,7 +46,7 @@ use malec_trace::scenario::presets;
 use malec_types::SimConfig;
 
 fn usage() -> String {
-    "usage:\n  malec-cli run <spec.toml> [--jobs N]\n  malec-cli compare <spec.toml> [--jobs N] [--addr HOST:PORT] [-o report.json] [--retries N]\n  malec-cli record <spec.toml> [-o out.mtr]\n  malec-cli replay <trace.mtr> [--config LABEL] [--insts N] [--seed N] [--name NAME]\n  malec-cli presets\n  malec-cli serve [--addr HOST:PORT] [--cache FILE] [--jobs N] [--fsync always|on-close]\n                  [--max-conns N] [--drain-timeout SECS] [--job-ttl SECS]\n                  [--cache-max-bytes N] [--compact-threshold RATIO]\n                  [--warm-from HOST:PORT] [--faults SCHED]\n  malec-cli submit <spec.toml> [--addr HOST:PORT] [-o report.json] [--no-wait] [--retries N]\n  malec-cli status [JOB] [--addr HOST:PORT] [--retries N]\n  malec-cli cache compact [--addr HOST:PORT]\n  malec-cli cache sync --from HOST:PORT -o FILE\n\nThe replay digest folds the workload name; pass --name <scenario name>\n(the [scenario] name the trace was recorded under) to make it comparable\nwith the digests in a `run` report.\n\n`compare` pairs the spec's [compare] interfaces per shared replicate seed\nand reports deltas (mean ± paired CI, relative %, win/loss/tie at the\nspec's alpha); with --addr the spec is submitted to a server and the\ndeltas are assembled from its result cache instead of simulating locally.\n\n`serve` hosts the batch service (default address 127.0.0.1:4173); `submit`\nand `status` talk to it. --cache persists the result cache across\nrestarts; --jobs caps worker fan-out everywhere it appears. --fsync sets\nthe cache-log durability policy; --max-conns sheds load above N concurrent\nconnections (503 + Retry-After); --job-ttl expires finished job records;\n--cache-max-bytes bounds resident results (LRU eviction; disk space is\nreclaimed at the next compaction); --compact-threshold RATIO rewrites the\nlog automatically once that fraction of its payload is dead;\n--warm-from pulls a running peer's live records before serving;\n--faults arms the deterministic failpoint schedule (`name@hit[:param];...`,\nalso read from MALEC_FAULTS) — testing only.\n\n`cache compact` asks a server to rewrite its log keeping only live\nrecords; `cache sync` downloads a server's live record set\n(checksum-verified) into a local log file usable as `serve --cache` for a\nfresh peer.\n\n--retries N retries transport failures and retryable statuses (408/429/5xx)\nwith capped exponential backoff, and resubmits a job whose cells failed\n(completed cells are cached, so only failed work is re-simulated)."
+    "usage:\n  malec-cli run <spec.toml> [--jobs N]\n  malec-cli compare <spec.toml> [--jobs N] [--addr HOST:PORT] [-o report.json] [--retries N]\n  malec-cli record <spec.toml> [-o out.mtr]\n  malec-cli replay <trace.mtr> [--config LABEL] [--insts N] [--seed N] [--name NAME]\n  malec-cli presets\n  malec-cli serve [--addr HOST:PORT] [--cache FILE] [--jobs N] [--fsync always|on-close]\n                  [--max-conns N] [--drain-timeout SECS] [--job-ttl SECS]\n                  [--cache-max-bytes N] [--compact-threshold RATIO]\n                  [--warm-from HOST:PORT] [--faults SCHED]\n  malec-cli submit <spec.toml> [--addr HOST:PORT] [-o report.json] [--no-wait] [--retries N]\n  malec-cli status [JOB] [--addr HOST:PORT] [--retries N]\n  malec-cli cache compact [--addr HOST:PORT]\n  malec-cli cache sync --from HOST:PORT -o FILE\n  malec-cli analyze [--root DIR] [--pass NAME]... [--dump-graph]\n                  run the workspace-invariant lints (lock-order,\n                  panic-surface, determinism, failpoint-coverage);\n                  nonzero exit on any finding — see ANALYSIS.md\n\nThe replay digest folds the workload name; pass --name <scenario name>\n(the [scenario] name the trace was recorded under) to make it comparable\nwith the digests in a `run` report.\n\n`compare` pairs the spec's [compare] interfaces per shared replicate seed\nand reports deltas (mean ± paired CI, relative %, win/loss/tie at the\nspec's alpha); with --addr the spec is submitted to a server and the\ndeltas are assembled from its result cache instead of simulating locally.\n\n`serve` hosts the batch service (default address 127.0.0.1:4173); `submit`\nand `status` talk to it. --cache persists the result cache across\nrestarts; --jobs caps worker fan-out everywhere it appears. --fsync sets\nthe cache-log durability policy; --max-conns sheds load above N concurrent\nconnections (503 + Retry-After); --job-ttl expires finished job records;\n--cache-max-bytes bounds resident results (LRU eviction; disk space is\nreclaimed at the next compaction); --compact-threshold RATIO rewrites the\nlog automatically once that fraction of its payload is dead;\n--warm-from pulls a running peer's live records before serving;\n--faults arms the deterministic failpoint schedule (`name@hit[:param];...`,\nalso read from MALEC_FAULTS) — testing only.\n\n`cache compact` asks a server to rewrite its log keeping only live\nrecords; `cache sync` downloads a server's live record set\n(checksum-verified) into a local log file usable as `serve --cache` for a\nfresh peer.\n\n--retries N retries transport failures and retryable statuses (408/429/5xx)\nwith capped exponential backoff, and resubmits a job whose cells failed\n(completed cells are cached, so only failed work is re-simulated)."
         .to_owned()
 }
 
@@ -71,6 +71,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         Some("submit") => cmd_submit(&args[1..]),
         Some("status") => cmd_status(&args[1..]),
         Some("cache") => cmd_cache(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
         Some("presets") => {
             cmd_presets();
             Ok(())
@@ -649,6 +650,54 @@ fn cmd_cache_sync(args: &[String]) -> Result<(), String> {
         report.records - report.inserted,
     );
     Ok(())
+}
+
+/// `analyze`: the workspace-invariant lint gate, in-process (the same
+/// passes the standalone `malec-analyze` binary and CI run).
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let root: Option<PathBuf> = take_flag(&mut args, "--root")?;
+    let dump_graph = if let Some(i) = args.iter().position(|a| a == "--dump-graph") {
+        args.remove(i);
+        true
+    } else {
+        false
+    };
+    let mut passes: Vec<String> = Vec::new();
+    while let Some(name) = take_flag::<String>(&mut args, "--pass")? {
+        if !malec_analyze::PASSES.contains(&name.as_str()) {
+            return Err(format!("unknown pass `{name}`\n{}", usage()));
+        }
+        passes.push(name);
+    }
+    if let Some(extra) = args.first() {
+        return Err(format!("unknown argument `{extra}`\n{}", usage()));
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => std::env::current_dir()
+            .ok()
+            .and_then(|d| malec_analyze::find_root(&d))
+            .ok_or("not inside a MALEC workspace (pass --root DIR)")?,
+    };
+    let sources = malec_analyze::load_workspace(&root)
+        .map_err(|e| format!("failed to read workspace: {e}"))?;
+    let selected: Vec<&str> = if passes.is_empty() {
+        malec_analyze::PASSES.to_vec()
+    } else {
+        passes.iter().map(String::as_str).collect()
+    };
+    let report = malec_analyze::analyze(&sources, &selected);
+    print!("{}", report.render(dump_graph));
+    if report.findings.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} lint finding(s) — fix them or annotate the invariant",
+            report.findings.len()
+        ))
+    }
 }
 
 fn cmd_presets() {

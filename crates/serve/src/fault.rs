@@ -37,7 +37,9 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex};
+
+use crate::sync::lock;
 
 /// The environment variable [`Faults::from_env`] reads.
 pub const FAULTS_ENV: &str = "MALEC_FAULTS";
@@ -85,12 +87,6 @@ struct Point {
 pub struct Faults {
     armed: AtomicBool,
     points: Mutex<HashMap<String, Point>>,
-}
-
-/// Recovers a poisoned guard: the registry's counters stay consistent
-/// under panics (which is the whole point of a fault-injection registry).
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// A malformed schedule string.

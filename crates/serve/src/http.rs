@@ -89,11 +89,12 @@ fn read_line(r: &mut impl BufRead) -> io::Result<String> {
             Err(e) => return Err(e),
         }
         consumed += 1;
-        if byte[0] == b'\n' {
+        let [b] = byte;
+        if b == b'\n' {
             break;
         }
-        if byte[0] != b'\r' {
-            line.push(byte[0]);
+        if b != b'\r' {
+            line.push(b);
         }
         if consumed > MAX_LINE {
             return Err(bad("header line too long"));
@@ -531,6 +532,21 @@ mod tests {
         let (status, body) = request(addr, "POST", "/v1/jobs", b"[scenario]").expect("request");
         assert_eq!(status, 200);
         assert_eq!(body, "POST /v1/jobs [scenario]");
+    }
+
+    /// The hardened single-byte reader (destructured, no indexing) keeps
+    /// the exact line semantics: CRLF and bare-LF both terminate, a lone
+    /// CR is dropped, EOF mid-line yields what arrived.
+    #[test]
+    fn read_line_handles_terminators_and_eof() {
+        let mut crlf = std::io::Cursor::new(b"abc\r\nrest".to_vec());
+        assert_eq!(read_line(&mut crlf).expect("line"), "abc");
+        let mut lf = std::io::Cursor::new(b"abc\nrest".to_vec());
+        assert_eq!(read_line(&mut lf).expect("line"), "abc");
+        let mut bare_cr = std::io::Cursor::new(b"a\rb\n".to_vec());
+        assert_eq!(read_line(&mut bare_cr).expect("line"), "ab");
+        let mut eof = std::io::Cursor::new(b"tail".to_vec());
+        assert_eq!(read_line(&mut eof).expect("line"), "tail");
     }
 
     #[test]

@@ -168,7 +168,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+    fn eat(&mut self, b: u8) -> Result<(), JsonError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -192,7 +192,8 @@ impl<'a> Parser<'a> {
     }
 
     fn literal(&mut self, word: &str, v: Value) -> Result<Value, JsonError> {
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+        let rest = self.bytes.get(self.pos..).unwrap_or_default();
+        if rest.starts_with(word.as_bytes()) {
             self.pos += word.len();
             Ok(v)
         } else {
@@ -212,7 +213,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Value, JsonError> {
-        self.expect(b'{')?;
+        self.eat(b'{')?;
         self.enter()?;
         let mut members = BTreeMap::new();
         self.skip_ws();
@@ -225,7 +226,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.eat(b':')?;
             self.skip_ws();
             let value = self.value()?;
             members.insert(key, value);
@@ -243,7 +244,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Value, JsonError> {
-        self.expect(b'[')?;
+        self.eat(b'[')?;
         self.enter()?;
         let mut elements = Vec::new();
         self.skip_ws();
@@ -269,7 +270,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"')?;
+        self.eat(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -310,10 +311,12 @@ impl<'a> Parser<'a> {
                 Some(_) => {
                     // Multi-byte UTF-8 passes through untouched: find the
                     // char at this byte offset and copy it whole.
-                    let rest = &self.bytes[self.pos..];
+                    let rest = self.bytes.get(self.pos..).unwrap_or_default();
                     let s = std::str::from_utf8(rest)
                         .map_err(|_| self.err("string is not valid UTF-8"))?;
-                    let c = s.chars().next().expect("peeked a byte");
+                    let Some(c) = s.chars().next() else {
+                        return Err(self.err("unterminated string"));
+                    };
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -339,7 +342,11 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII digits");
+        let text = self
+            .bytes
+            .get(start..self.pos)
+            .and_then(|t| std::str::from_utf8(t).ok())
+            .ok_or_else(|| self.err("bad number"))?;
         text.parse::<f64>()
             .map(Value::Number)
             .map_err(|_| self.err(format!("bad number `{text}`")))
@@ -440,5 +447,31 @@ mod tests {
     fn unicode_passthrough() {
         let v = parse("\"caf\u{e9} — ✓\"").expect("parses");
         assert_eq!(v.as_str(), Some("café — ✓"));
+    }
+
+    /// The request-path hardening conversions: every site that used to
+    /// index or `expect` on request-derived bytes must now answer these
+    /// adversarial documents with a clean `Err`, never a panic.
+    #[test]
+    fn truncated_documents_error_cleanly() {
+        // literal(): keyword cut at end of input (the old unchecked
+        // `bytes[pos..]` slice site).
+        for doc in ["t", "tru", "fals", "n", "nul"] {
+            assert!(parse(doc).is_err(), "{doc:?} must be a parse error");
+        }
+        // number(): a bare sign parses no digits (the old
+        // `expect("ASCII digits")` site must surface `bad number`).
+        for doc in ["-", "-e", "1e", "."] {
+            let err = parse(doc).expect_err("bad number must error");
+            assert!(
+                err.message.contains("number") || err.message.contains("character"),
+                "{err}"
+            );
+        }
+        // string(): escapes and quotes cut at end of input (the old
+        // `expect("peeked a byte")` neighborhood).
+        for doc in ["\"", "\"\\", "\"\\u", "\"\\u00", "\"abc"] {
+            assert!(parse(doc).is_err(), "{doc:?} must be a parse error");
+        }
     }
 }

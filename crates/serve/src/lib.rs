@@ -69,6 +69,7 @@ pub mod report;
 pub mod scheduler;
 pub mod server;
 pub mod spec;
+pub mod sync;
 pub mod toml;
 
 pub use cache::{cache_key, CacheStats, CompactOutcome, FsyncPolicy, ResultCache, SyncReport};

@@ -28,7 +28,9 @@ use std::io;
 use std::panic::AssertUnwindSafe;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+use crate::sync::lock;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -54,15 +56,6 @@ pub type JobId = u64;
 /// per-job bookkeeping goes), so a long-lived server's memory is bounded
 /// by its workload, not its uptime. Evicted ids answer like unknown ids.
 const MAX_RETAINED_DONE: usize = 256;
-
-/// Recovers a poisoned guard. A worker panic (real or injected) unwinds
-/// through `catch_unwind`, but if it happened to hold a lock, the other
-/// workers must keep going — every structure here stays consistent because
-/// mutations are single assignments or counter bumps, never multi-step
-/// invariants left half-done.
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
-}
 
 /// Construction knobs for an [`Engine`]. `Default` matches what
 /// `Engine::new(None, None)` always did: fan-out workers, in-memory

@@ -1,0 +1,23 @@
+//! The one sanctioned way to take a mutex in this crate.
+//!
+//! Every lock acquisition in `malec-serve` goes through [`lock`], which
+//! recovers a poisoned guard instead of propagating the poison: a worker
+//! panic (real or injected by a failpoint) unwinds through `catch_unwind`,
+//! and if it happened to hold a lock, the rest of the pool must keep
+//! going. That is safe here because every guarded structure stays
+//! consistent under mid-operation unwinds — mutations are single
+//! assignments or counter bumps, never multi-step invariants left
+//! half-done.
+//!
+//! The static-analysis gate (`malec-analyze`, lock-order pass) enforces
+//! the funnel: a direct `Mutex::lock()` call anywhere else in the crate is
+//! a finding, so `.lock().unwrap()` — which would convert one panicked
+//! worker into a poisoned-lock cascade — cannot reappear.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Locks `m`, recovering the guard if a previous holder panicked.
+pub fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // analyze: allow(lock-order) the poison-recovering funnel itself; every other lock call routes here
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}

@@ -161,7 +161,7 @@ fn strip_comment(line: &str) -> &str {
         match c {
             '\\' if in_str => escaped = !escaped,
             '"' if !escaped => in_str = !in_str,
-            '#' if !in_str => return &line[..idx],
+            '#' if !in_str => return line.get(..idx).unwrap_or(line),
             _ => escaped = false,
         }
     }
@@ -324,13 +324,13 @@ fn split_array_items(body: &str) -> Vec<&str> {
             '\\' if in_str => escaped = !escaped,
             '"' if !escaped => in_str = !in_str,
             ',' if !in_str => {
-                items.push(&body[start..idx]);
+                items.push(body.get(start..idx).unwrap_or_default());
                 start = idx + 1;
             }
             _ => escaped = false,
         }
     }
-    items.push(&body[start..]);
+    items.push(body.get(start..).unwrap_or_default());
     items
 }
 
@@ -498,5 +498,20 @@ seed = 2013
         assert_eq!(p[0].as_table().unwrap()["k"].as_int(), Some(1));
         assert_eq!(p[1].as_table().unwrap()["k"].as_int(), Some(3));
         assert_eq!(root["s"].as_table().unwrap()["v"].as_int(), Some(2));
+    }
+
+    /// The hardened slice sites (`strip_comment`, `split_array_items`)
+    /// keep their semantics on multibyte text and edge-shaped arrays.
+    #[test]
+    fn comments_and_arrays_survive_multibyte_and_edges() {
+        let root = parse("a = \"caf\u{e9}\" # comment après café ✓\n").expect("parses");
+        assert_eq!(root["a"].as_str(), Some("café"));
+        let root = parse("f = [1, 2,]\n").expect("trailing comma");
+        assert_eq!(root["f"].as_array().unwrap().len(), 2);
+        let root = parse("f = [,]\n").expect("empty items are skipped");
+        assert_eq!(root["f"].as_array().unwrap().len(), 0);
+        assert!(parse("#\u{2014}\n# only comments\n")
+            .expect("parses")
+            .is_empty());
     }
 }

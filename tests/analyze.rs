@@ -1,0 +1,317 @@
+//! Acceptance tests for `malec-analyze`, the workspace-invariant lint
+//! gate (tier-1: CI runs these on every change):
+//!
+//! * **The workspace is clean** — all four passes over the real source
+//!   tree produce zero findings (this is the deny-by-default gate: a
+//!   regression anywhere in the tree fails this test, not just the CI
+//!   job);
+//! * **The serve lock graph is acyclic** and contains exactly the
+//!   documented `cache -> in_flight` nesting;
+//! * **Synthetic violations** of each lint class are detected at their
+//!   exact `file:line` — reversed lock nestings form a cycle, direct
+//!   `.lock()` calls, every forbidden panic form, nondeterminism in a
+//!   golden crate, and each failpoint-registry mismatch;
+//! * **Suppressions** silence exactly one adjacent finding, demand a
+//!   written reason, and rot loudly when they no longer bite.
+
+use std::path::Path;
+
+use malec_analyze::{analyze, find_root, load_workspace, Report, Source, PASSES};
+
+fn src(path: &str, text: &str) -> Source {
+    Source {
+        path: path.to_owned(),
+        text: text.to_owned(),
+    }
+}
+
+/// `(line, lint)` pairs of a report's findings, for exact-site asserts.
+fn sites(report: &Report) -> Vec<(u32, &str)> {
+    report
+        .findings
+        .iter()
+        .map(|f| (f.line, f.lint.as_str()))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// The real workspace
+// ---------------------------------------------------------------------------
+
+/// The deny-by-default gate: all four passes over the actual source tree
+/// must come back clean, and the suppression budget must be in use (the
+/// funnel's own `.lock()` is always annotated).
+#[test]
+fn the_workspace_passes_all_four_lints() {
+    let root = find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+    let sources = load_workspace(&root).expect("load workspace");
+    let report = analyze(&sources, PASSES);
+    assert!(
+        report.findings.is_empty(),
+        "the workspace must be lint-clean:\n{}",
+        report.render(false)
+    );
+    assert!(report.files > 50, "walked the whole tree: {}", report.files);
+    assert!(
+        report.suppressed >= 1,
+        "the sync funnel annotation must bite"
+    );
+}
+
+/// The serve lock-acquisition graph is acyclic and contains the one
+/// documented nesting: `cache` is taken before `in_flight`, and nothing
+/// else nests.
+#[test]
+fn the_serve_lock_graph_is_acyclic_with_only_the_documented_edge() {
+    let root = find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+    let sources = load_workspace(&root).expect("load workspace");
+    let report = analyze(&sources, &["lock-order"]);
+    assert!(report.findings.is_empty(), "{}", report.render(true));
+    let edges: Vec<(&str, &str)> = report
+        .graph
+        .iter()
+        .map(|e| (e.from.as_str(), e.to.as_str()))
+        .collect();
+    assert_eq!(
+        edges,
+        [("cache", "in_flight")],
+        "the only permitted nesting is cache before in_flight"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic violations, detected at exact file:line
+// ---------------------------------------------------------------------------
+
+#[test]
+fn reversed_lock_nestings_form_a_reported_cycle() {
+    let fixture = src(
+        "crates/serve/src/synthetic.rs",
+        "fn ab(&self) {\n\
+         \x20   let a = lock(&self.alpha);\n\
+         \x20   let b = lock(&self.beta);\n\
+         }\n\
+         fn ba(&self) {\n\
+         \x20   let b = lock(&self.beta);\n\
+         \x20   let a = lock(&self.alpha);\n\
+         }\n",
+    );
+    let report = analyze(&[fixture], &["lock-order"]);
+    assert_eq!(
+        sites(&report),
+        [(7, "lock-order")],
+        "{}",
+        report.render(true)
+    );
+    assert!(
+        report.findings[0]
+            .message
+            .contains("alpha -> beta -> alpha"),
+        "{}",
+        report.findings[0]
+    );
+    assert_eq!(report.graph.len(), 2, "both nestings recorded");
+}
+
+#[test]
+fn scope_aware_guard_tracking_respects_drop_and_blocks() {
+    // `drop(a)` releases the guard, so the second acquisition does not
+    // nest; the block-scoped guard dies at `}` before beta is taken.
+    let fixture = src(
+        "crates/serve/src/synthetic.rs",
+        "fn f(&self) {\n\
+         \x20   let a = lock(&self.alpha);\n\
+         \x20   drop(a);\n\
+         \x20   let b = lock(&self.beta);\n\
+         }\n\
+         fn g(&self) {\n\
+         \x20   { let a = lock(&self.alpha); }\n\
+         \x20   let b = lock(&self.beta);\n\
+         }\n",
+    );
+    let report = analyze(&[fixture], &["lock-order"]);
+    assert!(report.findings.is_empty(), "{}", report.render(true));
+    assert!(report.graph.is_empty(), "no nesting survives the releases");
+}
+
+#[test]
+fn direct_lock_calls_are_flagged_at_their_exact_site() {
+    let fixture = src(
+        "crates/serve/src/synthetic.rs",
+        "fn ok(&self) {\n\
+         \x20   let g = lock(&self.alpha);\n\
+         }\n\
+         fn bad(&self) {\n\
+         \x20   let g = self.alpha.lock().unwrap();\n\
+         }\n",
+    );
+    let report = analyze(&[fixture], &["lock-order"]);
+    assert_eq!(
+        sites(&report),
+        [(5, "lock-order")],
+        "{}",
+        report.render(false)
+    );
+    assert!(report.findings[0].message.contains("funnel"));
+}
+
+#[test]
+fn panic_surface_catches_each_forbidden_form_outside_tests() {
+    let fixture = src(
+        "crates/serve/src/json.rs",
+        "fn f(x: Option<u8>) -> u8 {\n\
+         \x20   let v = x.unwrap();\n\
+         \x20   if v > 250 { panic!(\"big\") }\n\
+         \x20   let s = [v, 2];\n\
+         \x20   s[0]\n\
+         }\n\
+         #[cfg(test)]\n\
+         mod tests { fn t(x: Option<u8>) { x.unwrap(); } }\n",
+    );
+    let report = analyze(&[fixture], &["panic-surface"]);
+    assert_eq!(
+        sites(&report),
+        [
+            (2, "panic-surface"),
+            (3, "panic-surface"),
+            (5, "panic-surface")
+        ],
+        "unwrap, panic!, and indexing — and nothing from the test module:\n{}",
+        report.render(false)
+    );
+}
+
+#[test]
+fn determinism_catches_hash_collections_wall_clock_and_env() {
+    let fixture = src(
+        "crates/core/src/lib.rs",
+        "use std::collections::HashMap;\n\
+         fn when() -> std::time::Instant { std::time::Instant::now() }\n\
+         fn home() -> Option<String> { std::env::var(\"HOME\").ok() }\n",
+    );
+    let report = analyze(&[fixture], &["determinism"]);
+    let lines: Vec<u32> = report.findings.iter().map(|f| f.line).collect();
+    assert_eq!(lines, [1, 2, 2, 3], "{}", report.render(false));
+    assert!(report.findings.iter().all(|f| f.lint == "determinism"));
+}
+
+#[test]
+fn failpoint_registry_docs_sites_and_tests_are_cross_checked() {
+    let fault = src(
+        "crates/serve/src/fault.rs",
+        "//! | `good.point`     | delay | fine |\n\
+         //! | `unarmed.point`  | delay | fine |\n\
+         //! | `untested.point` | delay | fine |\n\
+         //! | `stale.point`    | delay | row outlived the point |\n\
+         pub const KNOWN_POINTS: &[&str] = &[\n\
+         \x20   \"good.point\",\n\
+         \x20   \"undoc.point\",\n\
+         \x20   \"unarmed.point\",\n\
+         \x20   \"untested.point\",\n\
+         ];\n",
+    );
+    let server = src(
+        "crates/serve/src/server.rs",
+        "fn f(&self) {\n\
+         \x20   self.faults.check(\"good.point\");\n\
+         \x20   self.faults.check_delay(\"good.point\");\n\
+         \x20   self.faults.check(\"undoc.point\");\n\
+         \x20   self.faults.check(\"untested.point\");\n\
+         \x20   self.faults.check(\"rogue.point\");\n\
+         }\n",
+    );
+    let tests = src(
+        "tests/t.rs",
+        "const REFS: &[&str] = &[\"good.point@1\", \"undoc.point\", \"unarmed.point\"];\n",
+    );
+    let report = analyze(&[fault, server, tests], &["failpoint-coverage"]);
+    let got: Vec<(&str, u32, &str)> = report
+        .findings
+        .iter()
+        .map(|f| {
+            let which = [
+                "good.point",
+                "undoc.point",
+                "unarmed.point",
+                "untested.point",
+                "stale.point",
+                "rogue.point",
+            ]
+            .into_iter()
+            .find(|n| f.message.contains(n))
+            .expect("finding names its point");
+            (f.path.as_str(), f.line, which)
+        })
+        .collect();
+    assert_eq!(
+        got,
+        [
+            // Registry-anchored findings (line of KNOWN_POINTS):
+            ("crates/serve/src/fault.rs", 5, "undoc.point"), // no doc row
+            ("crates/serve/src/fault.rs", 5, "unarmed.point"), // no call site
+            ("crates/serve/src/fault.rs", 5, "untested.point"), // no test ref
+            ("crates/serve/src/fault.rs", 5, "stale.point"), // stale doc row
+            // Site-anchored findings:
+            ("crates/serve/src/server.rs", 3, "good.point"), // second arming site
+            ("crates/serve/src/server.rs", 6, "rogue.point"), // unregistered
+        ],
+        "{}",
+        report.render(false)
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions
+// ---------------------------------------------------------------------------
+
+#[test]
+fn suppressions_silence_one_site_demand_a_reason_and_rot_loudly() {
+    let fixture = src(
+        "crates/serve/src/json.rs",
+        "fn f(x: Option<u8>) -> u8 {\n\
+         \x20   // analyze: allow(panic-surface) fixture invariant holds by construction\n\
+         \x20   x.unwrap()\n\
+         }\n\
+         fn g(x: Option<u8>) -> u8 {\n\
+         \x20   // analyze: allow(panic-surface)\n\
+         \x20   x.unwrap()\n\
+         }\n\
+         // analyze: allow(determinism) nothing below ever triggers this\n\
+         fn h() {}\n",
+    );
+    let report = analyze(&[fixture], PASSES);
+    assert_eq!(
+        report.suppressed,
+        2,
+        "both unwraps silenced:\n{}",
+        report.render(false)
+    );
+    assert_eq!(
+        sites(&report),
+        [(6, "annotation"), (9, "annotation")],
+        "missing reason and dead suppression are findings:\n{}",
+        report.render(false)
+    );
+    assert!(report.findings[0].message.contains("without a reason"));
+    assert!(report.findings[1].message.contains("suppresses nothing"));
+}
+
+/// A suppression only reaches its own line and the line directly below —
+/// a third-line finding still fires.
+#[test]
+fn a_suppression_does_not_leak_past_the_next_line() {
+    let fixture = src(
+        "crates/serve/src/json.rs",
+        "// analyze: allow(panic-surface) covers only the next line\n\
+         fn f(x: Option<u8>) { x.unwrap(); }\n\
+         fn g(x: Option<u8>) { x.unwrap(); }\n",
+    );
+    let report = analyze(&[fixture], &["panic-surface"]);
+    assert_eq!(report.suppressed, 1);
+    assert_eq!(
+        sites(&report),
+        [(3, "panic-surface")],
+        "{}",
+        report.render(false)
+    );
+}

@@ -427,3 +427,97 @@ fn crash_mid_append_recovers_warm_on_restart() {
     );
     std::fs::remove_dir_all(&dir).ok();
 }
+
+// ---------------------------------------------------------------------------
+// Stall failpoints (http.read.stall, cache.sync.stall)
+// ---------------------------------------------------------------------------
+
+/// `http.read.stall` holds a connection handler before it reads the
+/// request. The point injects latency, not loss: the stalled request must
+/// still be answered correctly, the delay must be visible as wall-clock
+/// latency on exactly the armed hit, and later requests ride through.
+#[test]
+fn read_stall_delays_exactly_one_request_without_dropping_it() {
+    let faults = Faults::disarmed();
+    faults.arm("http.read.stall", 1, Some(250)); // 1st connection stalls 250ms
+    let server = serve(ServeOptions {
+        workers: Some(1),
+        faults: std::sync::Arc::clone(&faults),
+        ..ServeOptions::default()
+    });
+    let addr = server.addr().to_string();
+
+    let t0 = Instant::now();
+    let (status, _) = request(&addr, "GET", "/v1/healthz", b"").expect("stalled request completes");
+    assert_eq!(status, 200);
+    assert!(
+        t0.elapsed() >= Duration::from_millis(250),
+        "the armed stall must show up as latency, got {:?}",
+        t0.elapsed()
+    );
+
+    let (status, _) = request(&addr, "GET", "/v1/healthz", b"").expect("unstalled request");
+    assert_eq!(status, 200);
+    assert_eq!(faults.fired("http.read.stall"), 1, "one-shot trigger");
+    assert!(
+        faults.hits("http.read.stall") >= 2,
+        "every connection is checked"
+    );
+
+    let client = Client::new(addr);
+    client.shutdown().expect("shutdown");
+    server.join().expect("clean exit");
+}
+
+/// `cache.sync.stall` splits the `/v1/cache/sync` stream into two flushed
+/// halves with a delay between them. A peer warming up across the stall
+/// must still receive every record intact — the receiver's per-record
+/// verification tolerates a slow donor without dropping data.
+#[test]
+fn sync_stall_slows_the_stream_but_the_peer_warms_completely() {
+    let dir = tmp_dir("sync_stall");
+    let faults = Faults::disarmed();
+    faults.arm("cache.sync.stall", 1, Some(250)); // 1st sync stalls mid-stream
+    let donor = serve(ServeOptions {
+        workers: Some(2),
+        cache_path: Some(dir.join("donor.cache")),
+        faults: std::sync::Arc::clone(&faults),
+        ..ServeOptions::default()
+    });
+    let donor_client = Client::new(donor.addr().to_string());
+    let job = donor_client.submit(SMALL_SPEC).expect("submit");
+    let view = donor_client
+        .wait(job, Duration::from_secs(60))
+        .expect("wait");
+    assert_eq!(view.simulated, 2, "donor populated its cache");
+
+    let peer = Server::bind_with(
+        "127.0.0.1:0",
+        ServeOptions {
+            workers: Some(1),
+            ..ServeOptions::default()
+        },
+    )
+    .expect("bind peer");
+    let t0 = Instant::now();
+    let report = peer
+        .engine()
+        .warm_from(&donor.addr().to_string())
+        .expect("warm-up succeeds across the stall");
+    assert!(
+        t0.elapsed() >= Duration::from_millis(250),
+        "the stall sat in the middle of the stream, got {:?}",
+        t0.elapsed()
+    );
+    assert_eq!(report.records, 2, "{report:?}");
+    assert_eq!(
+        report.inserted, 2,
+        "no record lost to the stall: {report:?}"
+    );
+    assert!(report.damaged.is_none(), "{report:?}");
+    assert_eq!(faults.fired("cache.sync.stall"), 1);
+
+    donor_client.shutdown().expect("shutdown donor");
+    donor.join().expect("clean exit");
+    std::fs::remove_dir_all(&dir).ok();
+}
