@@ -13,7 +13,7 @@
 //! malec-cli serve [--addr A] [--cache F] [--jobs N] [--fsync P]
 //!                 [--max-conns N] [--drain-timeout S] [--job-ttl S]
 //!                 [--cache-max-bytes N] [--compact-threshold R]
-//!                 [--warm-from A] [--faults SCHED]
+//!                 [--warm-from A] [--peers A,A,...] [--faults SCHED]
 //!                                           run the batch service (blocking)
 //! malec-cli submit <spec.toml> [--addr A] [-o OUT] [--no-wait] [--retries N]
 //!                                           submit the spec to a server
@@ -41,12 +41,12 @@ use malec_serve::http::{request, request_stream};
 use malec_serve::json::{parse as parse_json, Value};
 use malec_serve::server::{ServeOptions, Server, DEFAULT_ADDR};
 use malec_serve::spec::parse_spec;
-use malec_serve::{Faults, FsyncPolicy, ResultCache};
+use malec_serve::{Faults, FsyncPolicy, ResultCache, ShardMap};
 use malec_trace::scenario::presets;
 use malec_types::SimConfig;
 
 fn usage() -> String {
-    "usage:\n  malec-cli run <spec.toml> [--jobs N]\n  malec-cli compare <spec.toml> [--jobs N] [--addr HOST:PORT] [-o report.json] [--retries N]\n  malec-cli record <spec.toml> [-o out.mtr]\n  malec-cli replay <trace.mtr> [--config LABEL] [--insts N] [--seed N] [--name NAME]\n  malec-cli presets\n  malec-cli serve [--addr HOST:PORT] [--cache FILE] [--jobs N] [--fsync always|on-close]\n                  [--max-conns N] [--drain-timeout SECS] [--job-ttl SECS]\n                  [--cache-max-bytes N] [--compact-threshold RATIO]\n                  [--warm-from HOST:PORT] [--faults SCHED]\n  malec-cli submit <spec.toml> [--addr HOST:PORT] [-o report.json] [--no-wait] [--retries N]\n  malec-cli status [JOB] [--addr HOST:PORT] [--retries N]\n  malec-cli cache compact [--addr HOST:PORT]\n  malec-cli cache sync --from HOST:PORT -o FILE\n  malec-cli analyze [--root DIR] [--pass NAME]... [--dump-graph]\n                  run the workspace-invariant lints (lock-order,\n                  panic-surface, determinism, failpoint-coverage);\n                  nonzero exit on any finding — see ANALYSIS.md\n\nThe replay digest folds the workload name; pass --name <scenario name>\n(the [scenario] name the trace was recorded under) to make it comparable\nwith the digests in a `run` report.\n\n`compare` pairs the spec's [compare] interfaces per shared replicate seed\nand reports deltas (mean ± paired CI, relative %, win/loss/tie at the\nspec's alpha); with --addr the spec is submitted to a server and the\ndeltas are assembled from its result cache instead of simulating locally.\n\n`serve` hosts the batch service (default address 127.0.0.1:4173); `submit`\nand `status` talk to it. --cache persists the result cache across\nrestarts; --jobs caps worker fan-out everywhere it appears. --fsync sets\nthe cache-log durability policy; --max-conns sheds load above N concurrent\nconnections (503 + Retry-After); --job-ttl expires finished job records;\n--cache-max-bytes bounds resident results (LRU eviction; disk space is\nreclaimed at the next compaction); --compact-threshold RATIO rewrites the\nlog automatically once that fraction of its payload is dead;\n--warm-from pulls a running peer's live records before serving;\n--faults arms the deterministic failpoint schedule (`name@hit[:param];...`,\nalso read from MALEC_FAULTS) — testing only.\n\n`cache compact` asks a server to rewrite its log keeping only live\nrecords; `cache sync` downloads a server's live record set\n(checksum-verified) into a local log file usable as `serve --cache` for a\nfresh peer.\n\n--retries N retries transport failures and retryable statuses (408/429/5xx)\nwith capped exponential backoff, and resubmits a job whose cells failed\n(completed cells are cached, so only failed work is re-simulated)."
+    "usage:\n  malec-cli run <spec.toml> [--jobs N]\n  malec-cli compare <spec.toml> [--jobs N] [--addr HOST:PORT] [-o report.json] [--retries N]\n  malec-cli record <spec.toml> [-o out.mtr]\n  malec-cli replay <trace.mtr> [--config LABEL] [--insts N] [--seed N] [--name NAME]\n  malec-cli presets\n  malec-cli serve [--addr HOST:PORT] [--cache FILE] [--jobs N] [--fsync always|on-close]\n                  [--max-conns N] [--drain-timeout SECS] [--job-ttl SECS]\n                  [--cache-max-bytes N] [--compact-threshold RATIO]\n                  [--warm-from HOST:PORT] [--peers HOST:PORT,...] [--faults SCHED]\n  malec-cli submit <spec.toml> [--addr HOST:PORT] [-o report.json] [--no-wait] [--retries N]\n  malec-cli status [JOB] [--addr HOST:PORT] [--retries N]\n  malec-cli cache compact [--addr HOST:PORT]\n  malec-cli cache sync --from HOST:PORT -o FILE\n  malec-cli analyze [--root DIR] [--pass NAME]... [--dump-graph]\n                  run the workspace-invariant lints (lock-order,\n                  panic-surface, determinism, failpoint-coverage);\n                  nonzero exit on any finding — see ANALYSIS.md\n\nThe replay digest folds the workload name; pass --name <scenario name>\n(the [scenario] name the trace was recorded under) to make it comparable\nwith the digests in a `run` report.\n\n`compare` pairs the spec's [compare] interfaces per shared replicate seed\nand reports deltas (mean ± paired CI, relative %, win/loss/tie at the\nspec's alpha); with --addr the spec is submitted to a server and the\ndeltas are assembled from its result cache instead of simulating locally.\n\n`serve` hosts the batch service (default address 127.0.0.1:4173); `submit`\nand `status` talk to it. --cache persists the result cache across\nrestarts; --jobs caps worker fan-out everywhere it appears. --fsync sets\nthe cache-log durability policy; --max-conns sheds load above N concurrent\nconnections (503 + Retry-After); --job-ttl expires finished job records;\n--cache-max-bytes bounds resident results (LRU eviction; disk space is\nreclaimed at the next compaction); --compact-threshold RATIO rewrites the\nlog automatically once that fraction of its payload is dead;\n--warm-from pulls a running peer's live records before serving;\n--peers ADDR,ADDR,... (self included) serves as one peer of a sharded\ncluster: every peer derives the same deterministic owner for every cell\nkey (rendezvous hashing — no coordination), a submission to any peer\nscatters config groups to their owners and gathers a report bit-identical\nto a standalone run, and a peer missing a cell it does not own fetches\nthe record from the owner before falling back to simulating locally;\n--faults arms the deterministic failpoint schedule (`name@hit[:param];...`,\nalso read from MALEC_FAULTS) — testing only.\n\n`cache compact` asks a server to rewrite its log keeping only live\nrecords; `cache sync` downloads a server's live record set\n(checksum-verified) into a local log file usable as `serve --cache` for a\nfresh peer.\n\n--retries N retries transport failures and retryable statuses (408/429/5xx)\nwith capped exponential backoff, and resubmits a job whose cells failed\n(completed cells are cached, so only failed work is re-simulated)."
         .to_owned()
 }
 
@@ -256,11 +256,12 @@ fn cmd_compare_remote(
     }
     std::fs::write(&out_path, &report).map_err(|e| format!("write {out_path}: {e}"))?;
     println!(
-        "job {job} done in {:.3}s: {} simulated, {} cached, {} coalesced",
+        "job {job} done in {:.3}s: {} simulated, {} cached, {} coalesced, {} fetched",
         view.wall_seconds.unwrap_or(0.0),
         view.simulated,
         view.cached,
         view.coalesced,
+        view.fetched,
     );
     println!(
         "  cache: {}/{} cells served from cache",
@@ -367,6 +368,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let cache_max_bytes: Option<u64> = take_flag(&mut args, "--cache-max-bytes")?;
     let compact_threshold: Option<f64> = take_flag(&mut args, "--compact-threshold")?;
     let warm_from: Option<String> = take_flag(&mut args, "--warm-from")?;
+    let peers: Option<String> = take_flag(&mut args, "--peers")?;
     let fault_schedule: Option<String> = take_flag(&mut args, "--faults")?;
     if !args.is_empty() {
         return Err(format!("unexpected arguments {args:?}\n{}", usage()));
@@ -400,6 +402,21 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     };
     let server = Server::bind_with(addr.as_str(), opts).map_err(|e| format!("bind {addr}: {e}"))?;
     let bound = server.local_addr().map_err(|e| e.to_string())?;
+    // Install the shard map before any traffic: ownership must be in force
+    // from the very first submission.
+    let shard_peers: Vec<String> = match &peers {
+        Some(list) => {
+            let map = ShardMap::new(
+                list.split(',').map(str::trim).filter(|s| !s.is_empty()),
+                &addr,
+            )
+            .map_err(|e| format!("--peers: {e}"))?;
+            let set = map.peers().iter().map(|p| p.as_str().to_owned()).collect();
+            server.engine().set_shard(map);
+            set
+        }
+        None => Vec::new(),
+    };
     // Warm before accepting work: a fresh peer serves its first request at
     // 100% cache coverage or fails loudly at startup, never in between.
     if let Some(peer) = warm_from {
@@ -426,12 +443,20 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if armed {
         println!("  WARNING: fault injection armed — not for production use");
     }
+    if !shard_peers.is_empty() {
+        println!(
+            "  sharding cells across {} peer(s): {}",
+            shard_peers.len(),
+            shard_peers.join(", "),
+        );
+    }
     println!("  POST /v1/jobs          submit a TOML sweep spec");
     println!("  GET  /v1/jobs/<id>     job status");
     println!("  GET  /v1/jobs/<id>/report");
     println!("  GET  /v1/cache/stats   result-cache counters");
     println!("  POST /v1/cache/compact rewrite the cache log, dropping dead records");
     println!("  GET  /v1/cache/sync    stream the live record set (peer warm-up)");
+    println!("  GET  /v1/cache/record/<key>  one verified record (peer-miss fetch)");
     println!("  POST /v1/shutdown      drain and stop (?mode=abort skips the drain)");
     server.run().map_err(|e| e.to_string())
 }
@@ -504,11 +529,12 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
     }
     std::fs::write(&out_path, &report).map_err(|e| format!("write {out_path}: {e}"))?;
     println!(
-        "job {job} done in {:.3}s: {} simulated, {} cached, {} coalesced{}",
+        "job {job} done in {:.3}s: {} simulated, {} cached, {} coalesced, {} fetched{}",
         view.wall_seconds.unwrap_or(0.0),
         view.simulated,
         view.cached,
         view.coalesced,
+        view.fetched,
         if view.replicates_saved > 0 {
             format!(
                 ", {} replicate(s) saved by early stop",
@@ -541,11 +567,35 @@ fn cmd_status(args: &[String]) -> Result<(), String> {
             println!("  hits             {}", stats.hits);
             println!("  misses           {}", stats.misses);
             println!("  coalesced        {}", stats.coalesced);
+            println!("  fetched          {}", stats.fetched);
             println!("  bytes appended   {}", stats.bytes_appended);
             println!("  log bytes        {}", stats.log_bytes);
             println!("  live bytes       {}", stats.live_bytes);
             println!("  evicted          {}", stats.evicted);
             println!("  compactions      {}", stats.compactions);
+            // A sharded server advertises its peer set; show one row per
+            // peer so a cluster's health reads off a single command.
+            let peers = client.peers().unwrap_or_default();
+            if !peers.is_empty() {
+                println!("peers:");
+                println!(
+                    "  {:<22} {:>8} {:>8} {:>8} {:>8}  healthy",
+                    "address", "entries", "hits", "misses", "fetched"
+                );
+                for peer in peers {
+                    let me = if peer == addr { " (self)" } else { "" };
+                    match Client::new(peer.clone()).cache_stats() {
+                        Ok(s) => println!(
+                            "  {:<22} {:>8} {:>8} {:>8} {:>8}  yes{me}",
+                            peer, s.entries, s.hits, s.misses, s.fetched
+                        ),
+                        Err(_) => println!(
+                            "  {:<22} {:>8} {:>8} {:>8} {:>8}  NO{me}",
+                            peer, "-", "-", "-", "-"
+                        ),
+                    }
+                }
+            }
             Ok(())
         }
         [job] => {
@@ -554,7 +604,7 @@ fn cmd_status(args: &[String]) -> Result<(), String> {
                 .map_err(|_| format!("bad job id `{job}`\n{}", usage()))?;
             let view = client.status(job)?;
             println!(
-                "job {job} (`{}`): {} — {}/{} cells done ({} simulated, {} cached, {} coalesced, {} failed, {} pending)",
+                "job {job} (`{}`): {} — {}/{} cells done ({} simulated, {} cached, {} coalesced, {} fetched, {} failed, {} pending)",
                 view.scenario,
                 view.state,
                 view.cells - view.pending - view.failed,
@@ -562,6 +612,7 @@ fn cmd_status(args: &[String]) -> Result<(), String> {
                 view.simulated,
                 view.cached,
                 view.coalesced,
+                view.fetched,
                 view.failed,
                 view.pending,
             );

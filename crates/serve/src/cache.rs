@@ -176,6 +176,10 @@ pub struct CacheStats {
     /// Cells that attached to an identical in-flight simulation instead of
     /// starting their own (the scheduler reports these).
     pub coalesced: u64,
+    /// Records fetched from an owning peer's cache instead of simulated
+    /// locally (sharded serving — the scheduler and the gather path report
+    /// these).
+    pub fetched: u64,
     /// Bytes appended to the log over this process lifetime.
     pub bytes_appended: u64,
     /// The log's current on-disk length (header + every record, live or
@@ -512,6 +516,17 @@ impl ResultCache {
         self.stats.misses += 1;
     }
 
+    /// Counts one peer-fetched record (see [`CacheStats::fetched`]).
+    pub fn count_fetched(&mut self) {
+        self.stats.fetched += 1;
+    }
+
+    /// Whether `key` is resident — without counting a hit or touching the
+    /// entry's recency (unlike [`lookup`](Self::lookup)).
+    pub fn contains(&self, key: u128) -> bool {
+        self.map.contains_key(&key)
+    }
+
     /// Inserts a summary into the in-memory map (replacing any entry the
     /// key already had) and enforces the size cap — the just-inserted
     /// entry is never the one evicted, so the cap can be exceeded by at
@@ -716,6 +731,22 @@ impl ResultCache {
         out
     }
 
+    /// A snapshot of the live set for chunked streaming: `(key, summary)`
+    /// handles in LRU order (`Arc` clones, not encoded bytes), plus the
+    /// exact byte length of the corresponding log stream (header + every
+    /// record). The `/v1/cache/sync` handler encodes and writes chunk by
+    /// chunk from this instead of materializing the whole byte body under
+    /// the cache lock — summaries are immutable once inserted, so the
+    /// handles stay a consistent snapshot after the lock is released.
+    pub fn live_records(&self) -> (Vec<(u128, Arc<RunSummary>)>, u64) {
+        let mut records = Vec::with_capacity(self.map.len());
+        for &key in self.lru.values() {
+            // analyze: allow(panic-surface) lru values are exactly the resident map keys
+            records.push((key, Arc::clone(&self.map[&key].summary)));
+        }
+        (records, HEADER_LEN + self.stats.live_bytes)
+    }
+
     /// Streams a log-format record set (an [`export_live`](Self::export_live)
     /// body) into this cache, verifying each record's checksum and
     /// persisting every record not already resident. Damage mid-stream
@@ -728,22 +759,7 @@ impl ResultCache {
     /// Returns `InvalidData` for a stream that is not a cache log of the
     /// supported version; propagates local append errors.
     pub fn ingest(&mut self, r: &mut impl Read) -> io::Result<SyncReport> {
-        let mut header = [0u8; HEADER_LEN as usize];
-        r.read_exact(&mut header)
-            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "sync stream: short header"))?;
-        let [magic @ .., version] = header;
-        if &magic != MAGIC {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "sync stream: bad cache-log magic",
-            ));
-        }
-        if version != VERSION {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("sync stream: cache-log version {version} unsupported (want {VERSION})"),
-            ));
-        }
+        check_stream_header(r)?;
         let mut report = SyncReport {
             bytes: HEADER_LEN,
             ..SyncReport::default()
@@ -815,6 +831,51 @@ pub fn log_header() -> [u8; 5] {
 /// Encodes one record in the current log format (current `KEY_VERSION`).
 pub fn encode_record(key: u128, summary: &RunSummary) -> Vec<u8> {
     encode_record_raw(key, KEY_VERSION, &summary_to_bytes(summary))
+}
+
+/// Verifies a stream's 5-byte cache-log header (magic + version).
+fn check_stream_header(r: &mut impl Read) -> io::Result<()> {
+    let mut header = [0u8; HEADER_LEN as usize];
+    r.read_exact(&mut header)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "sync stream: short header"))?;
+    let [magic @ .., version] = header;
+    if &magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "sync stream: bad cache-log magic",
+        ));
+    }
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("sync stream: cache-log version {version} unsupported (want {VERSION})"),
+        ));
+    }
+    Ok(())
+}
+
+/// Decodes a single-record stream — a cache-log header followed by exactly
+/// one record, the `GET /v1/cache/record/<key>` response body — verifying
+/// the magic, version, and the record's checksum.
+///
+/// # Errors
+///
+/// `InvalidData` for a wrong header, a short/damaged/checksum-failing
+/// record, a record under a superseded `KEY_VERSION`, or an empty stream.
+pub fn decode_single_record(bytes: &[u8]) -> io::Result<(u128, RunSummary)> {
+    let mut r = bytes;
+    check_stream_header(&mut r)?;
+    match read_record(&mut r)? {
+        RawRecord::Live(key, summary, _) => Ok((key, *summary)),
+        RawRecord::Stale(_) => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "record is under a superseded key version",
+        )),
+        RawRecord::Eof => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "record stream is empty",
+        )),
+    }
 }
 
 fn encode_record_raw(key: u128, ver: u8, body: &[u8]) -> Vec<u8> {
@@ -1428,6 +1489,53 @@ mod tests {
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         std::fs::remove_file(&path_a).ok();
         std::fs::remove_file(&path_b).ok();
+    }
+
+    #[test]
+    fn single_record_stream_round_trips_and_rejects_damage() {
+        let s = sample(111);
+        let mut body = log_header().to_vec();
+        body.extend_from_slice(&encode_record(7, &s));
+        let (key, got) = decode_single_record(&body).expect("round trip");
+        assert_eq!(key, 7);
+        assert_eq!(digest(&got), digest(&s), "decoded record is bit-identical");
+
+        let mut flipped = body.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 1;
+        assert!(
+            decode_single_record(&flipped).is_err(),
+            "checksum catches a flip"
+        );
+        assert!(
+            decode_single_record(&log_header()).is_err(),
+            "empty stream refused"
+        );
+        assert!(decode_single_record(b"nope").is_err(), "bad header refused");
+        let mut stale = log_header().to_vec();
+        stale.extend_from_slice(&encode_record_raw(7, KEY_VERSION - 1, b"old"));
+        assert!(
+            decode_single_record(&stale).is_err(),
+            "stale version refused"
+        );
+    }
+
+    #[test]
+    fn live_records_snapshot_matches_export_live_exactly() {
+        let mut cache = ResultCache::in_memory();
+        for i in 0..3u128 {
+            cache
+                .insert_persist(i, Arc::new(sample(120 + i as u64)))
+                .expect("insert");
+        }
+        let export = cache.export_live();
+        let (records, len) = cache.live_records();
+        assert_eq!(len, export.len() as u64, "declared length is exact");
+        let mut rebuilt = log_header().to_vec();
+        for (key, summary) in &records {
+            rebuilt.extend_from_slice(&encode_record(*key, summary));
+        }
+        assert_eq!(rebuilt, export, "chunk-encoded stream is byte-identical");
     }
 
     #[test]

@@ -7,13 +7,18 @@
 //! simulation), and status/report/shutdown are safe to repeat — so the
 //! client may retry any call. [`RetryPolicy`] retries connection failures,
 //! timeouts, and retryable statuses (408/429/5xx) with capped exponential
-//! backoff and deterministic jitter, honoring a server `Retry-After`.
+//! backoff and deterministic jitter, honoring a server `Retry-After` up to
+//! the policy's own backoff ceiling — a misbehaving peer advertising
+//! `Retry-After: 86400` must not park a client for a day.
 
+use std::io::Read;
 use std::time::{Duration, Instant};
 
-use crate::cache::CacheStats;
-use crate::http::request_meta;
+use crate::cache::{decode_single_record, CacheStats};
+use crate::http::{request_meta, request_stream};
 use crate::json::{parse, Value};
+
+use malec_core::RunSummary;
 
 /// Total per-request budget (connect + write + read).
 const REQUEST_TIMEOUT: Duration = Duration::from_secs(60);
@@ -25,7 +30,7 @@ const REQUEST_TIMEOUT: Duration = Duration::from_secs(60);
 /// deterministic pseudo-random fraction keyed on the request path and
 /// attempt number — concurrent clients spread out, yet every run of the
 /// same workload backs off identically. A server-provided `Retry-After`
-/// overrides the computed delay.
+/// overrides the computed delay, clamped to [`cap`](Self::cap).
 #[derive(Clone, Copy, Debug)]
 pub struct RetryPolicy {
     /// Retries after the first attempt (0 = fail fast).
@@ -134,6 +139,8 @@ pub struct JobView {
     pub cached: u64,
     /// Cells attached to a concurrent identical simulation.
     pub coalesced: u64,
+    /// Cells fetched from their owning peer's cache (sharded serving).
+    pub fetched: u64,
     /// Cells that failed (worker panic or injected fault).
     pub failed: u64,
     /// Cells still queued or simulating.
@@ -149,7 +156,7 @@ pub struct JobView {
 impl JobView {
     /// Cells that completed without a simulation of their own.
     pub fn served_without_simulation(&self) -> u64 {
-        self.cached + self.coalesced
+        self.cached + self.coalesced + self.fetched
     }
 
     /// Whether the job has reached a terminal state.
@@ -183,6 +190,8 @@ fn parse_view(v: &Value) -> Result<JobView, String> {
         simulated: field(v, "simulated")?,
         cached: field(v, "cached")?,
         coalesced: field(v, "coalesced")?,
+        // Absent on pre-sharding servers; default rather than fail.
+        fetched: v.get("fetched").and_then(Value::as_u64).unwrap_or(0),
         // Absent on pre-fault-tolerance servers; default rather than fail.
         failed: v.get("failed").and_then(Value::as_u64).unwrap_or(0),
         pending: field(v, "pending")?,
@@ -242,8 +251,13 @@ impl Client {
                     )),
                 };
             }
-            let delay =
-                retry_after.map_or_else(|| self.retry.backoff(attempt, path), Duration::from_secs);
+            // A server pacing hint is honored, but never beyond the
+            // policy's own ceiling — one misbehaving peer must not park
+            // this client for a day.
+            let delay = retry_after.map_or_else(
+                || self.retry.backoff(attempt, path),
+                |s| Duration::from_secs(s).min(self.retry.cap),
+            );
             std::thread::sleep(delay);
         }
     }
@@ -271,6 +285,74 @@ impl Client {
     pub fn submit(&self, spec_toml: &str) -> Result<u64, String> {
         let v = self.call_json("POST", "/v1/jobs", spec_toml.as_bytes())?;
         field(&v, "job")
+    }
+
+    /// Submits a TOML spec restricted to the named config labels — the
+    /// scatter sub-job form (`POST /v1/jobs?configs=A,B`). The server
+    /// parses the full spec, then keeps only the listed configs.
+    ///
+    /// # Errors
+    ///
+    /// As [`submit`](Self::submit); a label not in the spec is a `400`.
+    pub fn submit_configs(&self, spec_toml: &str, labels: &[String]) -> Result<u64, String> {
+        let path = format!("/v1/jobs?configs={}", labels.join(","));
+        let v = self.call_json("POST", &path, spec_toml.as_bytes())?;
+        field(&v, "job")
+    }
+
+    /// Fetches one verified record from this peer's
+    /// `GET /v1/cache/record/<key>` endpoint — the peer-miss path of
+    /// sharded serving. The response is a single log-format record; its
+    /// checksum and key are verified before the summary is returned.
+    /// Transport failures and retryable statuses back off under the
+    /// policy; a `404` (the peer has no such record) is deterministic and
+    /// returns immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for connection failures, a missing record, and a
+    /// damaged or mismatched response body.
+    pub fn fetch_record(&self, key: u128) -> Result<RunSummary, String> {
+        let path = format!("/v1/cache/record/{key:032x}");
+        let mut attempt = 0u32;
+        loop {
+            let fail = match self.try_fetch_record(&path, key) {
+                Ok(Some(summary)) => return Ok(summary),
+                Ok(None) => return Err(format!("{}: no record for key {key:032x}", self.addr)),
+                Err(e) => e,
+            };
+            attempt += 1;
+            if attempt > self.retry.retries {
+                return Err(format!(
+                    "GET {path} at {}: {fail} ({attempt} attempt{})",
+                    self.addr,
+                    if attempt == 1 { "" } else { "s" }
+                ));
+            }
+            std::thread::sleep(self.retry.backoff(attempt, &path));
+        }
+    }
+
+    /// One record-fetch attempt: `Ok(None)` is the deterministic "no such
+    /// record" answer, `Err` is worth retrying.
+    fn try_fetch_record(&self, path: &str, key: u128) -> Result<Option<RunSummary>, String> {
+        let (status, mut stream) =
+            request_stream(&self.addr, "GET", path, REQUEST_TIMEOUT).map_err(|e| e.to_string())?;
+        if status == 404 {
+            return Ok(None);
+        }
+        if status != 200 {
+            return Err(format!("server returned {status}"));
+        }
+        let mut body = Vec::new();
+        stream.read_to_end(&mut body).map_err(|e| e.to_string())?;
+        let (got, summary) = decode_single_record(&body).map_err(|e| e.to_string())?;
+        if got != key {
+            return Err(format!(
+                "record key mismatch (asked {key:032x}, got {got:032x})"
+            ));
+        }
+        Ok(Some(summary))
     }
 
     /// Fetches one job's status.
@@ -338,9 +420,12 @@ impl Client {
                             resp.status
                         ));
                     }
-                    let delay = resp
-                        .retry_after
-                        .map_or_else(|| self.retry.poll_cadence(polls), Duration::from_secs);
+                    // Clamped like the call path: the hint paces, the
+                    // policy bounds.
+                    let delay = resp.retry_after.map_or_else(
+                        || self.retry.poll_cadence(polls),
+                        |s| Duration::from_secs(s).min(self.retry.cap),
+                    );
                     std::thread::sleep(delay);
                     polls += 1;
                 }
@@ -460,6 +545,7 @@ impl Client {
             hits: field(&v, "hits")?,
             misses: field(&v, "misses")?,
             coalesced: field(&v, "coalesced")?,
+            fetched: opt("fetched"),
             bytes_appended: field(&v, "bytes_appended")?,
             log_bytes: opt("log_bytes"),
             live_bytes: opt("live_bytes"),
@@ -482,6 +568,24 @@ impl Client {
         self.call_json("GET", "/v1/healthz", b"")
             .map(|v| v.get("ok").and_then(Value::as_bool) == Some(true))
             .unwrap_or(false)
+    }
+
+    /// The peer set a sharded server is configured with (self included),
+    /// from `/v1/healthz`. Empty for a standalone or pre-sharding server.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for connection failures and malformed responses.
+    pub fn peers(&self) -> Result<Vec<String>, String> {
+        let v = self.call_json("GET", "/v1/healthz", b"")?;
+        Ok(v.get("peers")
+            .and_then(Value::as_array)
+            .map(|a| {
+                a.iter()
+                    .filter_map(|p| p.as_str().map(str::to_owned))
+                    .collect()
+            })
+            .unwrap_or_default())
     }
 }
 
@@ -657,6 +761,95 @@ mod tests {
         for polls in 4..64 {
             assert_eq!(p.poll_cadence(polls), p.poll_max, "stays at the cap");
         }
+    }
+
+    /// One scripted reply: status, extra headers, body.
+    type Reply = (u16, Vec<(&'static str, &'static str)>, &'static str);
+
+    /// A hand-rolled one-route server: answers `replies[i]` to request
+    /// `i` (reading each request first), then exits.
+    fn scripted_server(replies: Vec<Reply>) -> (String, std::thread::JoinHandle<()>) {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let n = replies.len();
+        let handle = std::thread::spawn(move || {
+            for (conn, (status, headers, body)) in listener.incoming().take(n).zip(replies) {
+                let mut conn = conn.expect("accept");
+                let _ = crate::http::read_request_deadline(&conn, Duration::from_secs(5));
+                crate::http::write_response_with(
+                    &mut conn,
+                    status,
+                    "application/json",
+                    &headers,
+                    body.as_bytes(),
+                )
+                .expect("write response");
+            }
+        });
+        (addr, handle)
+    }
+
+    /// A policy whose ceilings are tight enough that an honored-verbatim
+    /// day-long Retry-After is unmistakable.
+    fn tight_policy() -> RetryPolicy {
+        RetryPolicy {
+            retries: 1,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(50),
+            poll_interval: Duration::from_millis(1),
+            poll_max: Duration::from_millis(10),
+        }
+    }
+
+    #[test]
+    fn call_caps_a_hostile_retry_after_at_the_policy_ceiling() {
+        // First answer: a 503 claiming `Retry-After: 86400`. Honored
+        // verbatim, the retry would sleep a day; capped, it sleeps ≤50 ms
+        // and the second answer succeeds.
+        let (addr, server) = scripted_server(vec![
+            (503, vec![("Retry-After", "86400")], "{}\n"),
+            (
+                200,
+                vec![],
+                "{\n  \"entries\": 0,\n  \"loaded_from_disk\": 0,\n  \"hits\": 0,\n  \
+                 \"misses\": 0,\n  \"coalesced\": 0,\n  \"bytes_appended\": 0\n}\n",
+            ),
+        ]);
+        let client = Client::new(addr).with_retry(tight_policy());
+        let start = Instant::now();
+        client.cache_stats().expect("second attempt succeeds");
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "a day-long Retry-After must be capped at the policy ceiling, waited {:?}",
+            start.elapsed()
+        );
+        server.join().expect("server thread");
+    }
+
+    #[test]
+    fn wait_caps_a_hostile_retry_after_at_the_policy_ceiling() {
+        // First status poll: shed with a day-long Retry-After. Second:
+        // the finished job.
+        let (addr, server) = scripted_server(vec![
+            (503, vec![("Retry-After", "86400")], "{}\n"),
+            (
+                200,
+                vec![],
+                "{\n  \"job\": 1,\n  \"scenario\": \"x\",\n  \"state\": \"done\",\n  \
+                 \"cells\": 1,\n  \"simulated\": 1,\n  \"cached\": 0,\n  \"coalesced\": 0,\n  \
+                 \"failed\": 0,\n  \"pending\": 0\n}\n",
+            ),
+        ]);
+        let client = Client::new(addr).with_retry(tight_policy());
+        let start = Instant::now();
+        let view = client.wait(1, Duration::from_secs(30)).expect("wait");
+        assert_eq!(view.state, "done");
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "a day-long Retry-After must not stall the poll loop, waited {:?}",
+            start.elapsed()
+        );
+        server.join().expect("server thread");
     }
 
     #[test]

@@ -28,6 +28,9 @@
 //! * [`fault`] — deterministic fault injection: named failpoints that fire
 //!   at exact hit counts under a seeded schedule, so every failure test is
 //!   reproducible;
+//! * [`shard`] — deterministic key ownership for multi-peer serving:
+//!   rendezvous hashing over the stable cell keys, so every peer agrees
+//!   on who owns which cell with no coordination;
 //! * [`http`] / [`json`] — just enough protocol, hand-rolled on
 //!   `std::net::TcpListener` (this build environment has no network
 //!   crates, following the precedent of the hand-rolled TOML parser);
@@ -68,6 +71,7 @@ pub mod json;
 pub mod report;
 pub mod scheduler;
 pub mod server;
+pub mod shard;
 pub mod spec;
 pub mod sync;
 pub mod toml;
@@ -77,4 +81,5 @@ pub use client::{Client, JobView, RetryPolicy};
 pub use fault::{FaultAction, Faults};
 pub use scheduler::{Engine, JobId, JobStatus, Provenance};
 pub use server::{Server, ServerHandle, DEFAULT_ADDR};
+pub use shard::ShardMap;
 pub use spec::{parse_spec, SweepSpec};

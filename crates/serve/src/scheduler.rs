@@ -22,8 +22,26 @@
 //! bit-identical — the job report cannot tell (and records which path each
 //! cell took anyway, for the cache-stats endpoint and the acceptance
 //! tests).
+//!
+//! With a [`ShardMap`] installed ([`Engine::set_shard`]), the engine is
+//! one peer of a sharded cluster. Two mechanisms kick in, both built on
+//! the same determinism:
+//!
+//! * **scatter/gather** — [`Engine::submit_with_source`] partitions a
+//!   job's config groups by their owners (a group routes by its
+//!   replicate-0 cache key, and an explicit `[compare]` pair clusters as
+//!   one so paired growth stays on one owner), forwards each remote
+//!   cluster to its owner as a `?configs=`-filtered sub-job, polls it
+//!   with the backoff client, and lands the fetched records as
+//!   [`Provenance::Fetched`] cells;
+//! * **peer-miss fetch** — a worker claiming a cell this peer does not
+//!   own first asks the owner for the record
+//!   (`GET /v1/cache/record/<key>`) and only simulates on a miss.
+//!
+//! Both degrade, never fail: an unreachable owner means the work runs
+//! locally — exactly what a standalone server would have done.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::io;
 use std::panic::AssertUnwindSafe;
 use std::path::{Path, PathBuf};
@@ -39,12 +57,14 @@ use malec_core::parallel::worker_count;
 use malec_core::stats::{replicate_seed, ReplicateStats};
 use malec_core::{RunSummary, ScenarioSource, Simulator};
 use malec_trace::Scenario;
-use malec_types::error::Failure;
+use malec_types::error::{Failure, FailureKind};
 use malec_types::SimConfig;
 
 use crate::cache::{cache_key, CacheStats, CompactOutcome, FsyncPolicy, ResultCache, SyncReport};
+use crate::client::{Client, RetryPolicy};
 use crate::fault::{FaultAction, Faults};
 use crate::report::{render, render_compare, CellResult, CompareReportMeta, ReportMeta};
+use crate::shard::ShardMap;
 use crate::spec::SweepSpec;
 
 /// Server-side job identifier.
@@ -111,6 +131,9 @@ pub enum Provenance {
     Cached,
     /// Attached to a concurrent identical simulation (no own simulation).
     Coalesced,
+    /// Fetched from the owning peer's cache (sharded serving) — by the
+    /// per-cell owner fetch or the scatter/gather path.
+    Fetched,
 }
 
 /// One schedulable cell: a `(config, replicate)` pair of one job. The
@@ -265,6 +288,8 @@ pub struct JobStatus {
     pub cached: usize,
     /// Cells that attached to a concurrent identical simulation.
     pub coalesced: usize,
+    /// Cells fetched from their owning peer's cache (sharded serving).
+    pub fetched: usize,
     /// Cells whose simulation failed (see [`JobStatus::error`]).
     pub failed: usize,
     /// Cells still queued or simulating.
@@ -281,7 +306,7 @@ pub struct JobStatus {
 impl JobStatus {
     /// Cells that completed without a simulation of their own.
     pub fn served_without_simulation(&self) -> usize {
-        self.cached + self.coalesced
+        self.cached + self.coalesced + self.fetched
     }
 }
 
@@ -313,6 +338,10 @@ struct EngineInner {
     compact_threshold: Option<f64>,
     /// Workers respawned after a panic escaped the per-cell guard.
     respawns: AtomicU64,
+    /// Sharded-serving map (`None`: standalone). Locked **alone**, always:
+    /// readers clone the `Arc` out and release immediately, so this mutex
+    /// never participates in any lock ordering.
+    shard: Mutex<Option<Arc<ShardMap>>>,
 }
 
 /// The engine: owns the cache, the jobs, and the worker pool. Cheap to
@@ -365,6 +394,7 @@ impl Engine {
             job_ttl: opts.job_ttl,
             compact_threshold: opts.compact_threshold,
             respawns: AtomicU64::new(0),
+            shard: Mutex::new(None),
         });
         let handles = (0..workers)
             .map(|_| {
@@ -400,6 +430,20 @@ impl Engine {
     /// asynchronously; CI-targeted groups may grow by one replicate at a
     /// time until they converge or hit the seed cap).
     pub fn submit(&self, spec: SweepSpec) -> JobId {
+        self.submit_with_source(spec, None)
+    }
+
+    /// [`Engine::submit`] plus the scatter half of sharded serving: when a
+    /// [`ShardMap`] is installed **and** `source` carries the job's
+    /// original spec text, config groups owned by other peers are not
+    /// enqueued locally — each remote cluster is forwarded to its owner as
+    /// a `?configs=`-filtered sub-job and gathered back as
+    /// [`Provenance::Fetched`] cells by a detached thread. An unreachable
+    /// owner degrades to local simulation; the job never fails for
+    /// topology reasons. Forwarded sub-jobs arrive *without* a source
+    /// (the server hands `None` for forwarded submissions), so they run
+    /// owner-local and the scatter cannot recurse.
+    pub fn submit_with_source(&self, spec: SweepSpec, source: Option<Arc<str>>) -> JobId {
         let id = self.inner.next_job.fetch_add(1, Ordering::Relaxed);
         let scenario = Arc::new(spec.scenario.clone());
         let initial = spec.replication.initial_count();
@@ -419,6 +463,7 @@ impl Engine {
                 });
             }
         }
+        let unit_cfgs: Vec<usize> = unit_map.iter().map(|&(c, _)| c).collect();
         let job = Job {
             cells: (0..units.len()).map(|_| CellState::Pending).collect(),
             units: unit_map,
@@ -446,16 +491,37 @@ impl Engine {
             wall_seconds: None,
             settled_at: None,
         };
+        // Scatter decision happens before the job is visible: groups with a
+        // remote owner are withheld from the local queue and handed to
+        // gather threads instead. (Shard mutex is locked alone, as always.)
+        let shard = lock(&self.inner.shard).clone();
+        let remote: Vec<(String, Vec<usize>)> = match (&shard, &source) {
+            (Some(shard), Some(_)) if shard.peers().len() > 1 => remote_clusters(&job, shard),
+            _ => Vec::new(),
+        };
         {
             let mut jobs = lock(&self.inner.jobs);
             jobs.insert(id, job);
         }
         self.expire_terminal();
-        {
+        let forwarded: HashSet<usize> =
+            remote.iter().flat_map(|(_, c)| c.iter().copied()).collect();
+        let local: Vec<WorkUnit> = units
+            .into_iter()
+            .filter(|u| !forwarded.contains(&unit_cfgs[u.cell]))
+            .collect();
+        if !local.is_empty() {
             let mut q = lock(&self.inner.queue);
-            q.extend(units);
+            q.extend(local);
         }
         self.inner.available.notify_all();
+        if let Some(source) = source {
+            for (owner, cfgs) in remote {
+                let inner = Arc::clone(&self.inner);
+                let source = Arc::clone(&source);
+                std::thread::spawn(move || gather_cluster(&inner, id, &owner, &cfgs, &source));
+            }
+        }
         id
     }
 
@@ -492,8 +558,9 @@ impl Engine {
         let simulated = j.count(Provenance::Simulated);
         let cached = j.count(Provenance::Cached);
         let coalesced = j.count(Provenance::Coalesced);
+        let fetched = j.count(Provenance::Fetched);
         let failed = j.count_failed();
-        let finished = simulated + cached + coalesced + failed;
+        let finished = simulated + cached + coalesced + fetched + failed;
         Some(JobStatus {
             id: job,
             scenario: j.spec.scenario.name.clone(),
@@ -502,6 +569,7 @@ impl Engine {
             simulated,
             cached,
             coalesced,
+            fetched,
             failed,
             pending: j.cells.len() - finished,
             replicates_saved: j.replicates_saved() as usize,
@@ -647,6 +715,40 @@ impl Engine {
         lock(&self.inner.cache).export_live()
     }
 
+    /// The live record set as shared summaries plus the exact cache-log
+    /// byte length of [`Engine::sync_snapshot`] — the chunked sync handler
+    /// streams from this without materializing the whole log.
+    pub fn sync_records(&self) -> (Vec<(u128, Arc<RunSummary>)>, u64) {
+        lock(&self.inner.cache).live_records()
+    }
+
+    /// Installs the sharded-serving map: from now on this engine forwards
+    /// remotely-owned config groups at submit (when given the spec source)
+    /// and asks owners before simulating cells it does not own.
+    pub fn set_shard(&self, shard: ShardMap) {
+        *lock(&self.inner.shard) = Some(Arc::new(shard));
+    }
+
+    /// The configured peer set (sorted, self included), or empty when
+    /// standalone — the `peers` array of `/v1/healthz`.
+    pub fn shard_peers(&self) -> Vec<String> {
+        lock(&self.inner.shard)
+            .as_ref()
+            .map(|s| s.peers().iter().map(|p| p.as_str().to_owned()).collect())
+            .unwrap_or_default()
+    }
+
+    /// One cached record in single-record cache-log format (header + one
+    /// record), or `None` on a miss — the `GET /v1/cache/record/<key>`
+    /// response body. Counts as a cache hit: a peer fetching this record
+    /// is serving it to a job, same as a local lookup would.
+    pub fn cache_record(&self, key: u128) -> Option<Vec<u8>> {
+        let summary = lock(&self.inner.cache).lookup(key)?;
+        let mut body = crate::cache::log_header().to_vec();
+        body.extend_from_slice(&crate::cache::encode_record(key, &summary));
+        Some(body)
+    }
+
     /// Warms this engine's cache from a peer's `/v1/cache/sync` stream,
     /// verifying every record's checksum and persisting each one not
     /// already resident. Meant to run before serving traffic (`malec-cli
@@ -788,7 +890,6 @@ fn process(inner: &EngineInner, unit: WorkUnit) {
                 }
                 None => {
                     in_flight.insert(key, Vec::new());
-                    cache.count_miss();
                     Claim::Run
                 }
             },
@@ -798,6 +899,44 @@ fn process(inner: &EngineInner, unit: WorkUnit) {
         Claim::Hit(summary) => finish_cell(inner, unit.job, unit.cell, summary, Provenance::Cached),
         Claim::Parked => {}
         Claim::Run => {
+            // Sharded serving: a cell this peer does not own is first asked
+            // from its owner. Cells route by their *group* key (the
+            // replicate-0 key), so a whole config group lands on one owner
+            // and its replication growth stays owner-local. A dead or
+            // missing owner degrades to local simulation below.
+            let shard = lock(&inner.shard).clone();
+            if let Some(shard) = shard {
+                let route = if unit.replicate == 0 {
+                    key
+                } else {
+                    cache_key(&unit.config, &unit.scenario, unit.insts, unit.seed, 0)
+                };
+                if !shard.is_owner(route) {
+                    let owner = shard.owner(route).as_str().to_owned();
+                    match fetch_from_owner(&owner, key) {
+                        Ok(summary) => {
+                            lock(&inner.cache).count_fetched();
+                            complete_run(
+                                inner,
+                                &unit,
+                                key,
+                                &Arc::new(summary),
+                                Provenance::Fetched,
+                            );
+                            return;
+                        }
+                        Err(failure) => eprintln!(
+                            "malec-serve: fetch of key {key:032x} from owner {owner} failed \
+                             ({failure}); simulating locally"
+                        ),
+                    }
+                }
+            }
+            // A miss is counted where the simulation actually starts, so a
+            // cluster-wide sum of per-peer misses equals cells simulated
+            // exactly once (peer-fetched cells count as fetches, not
+            // misses).
+            lock(&inner.cache).count_miss();
             inner.faults.check_delay("engine.cell.slow");
             // The per-cell panic guard: a panicking simulation (real bug
             // or the worker.panic failpoint) fails this cell — and every
@@ -834,45 +973,262 @@ fn process(inner: &EngineInner, unit: WorkUnit) {
                     return;
                 }
             };
-            let (waiters, appender) = {
+            complete_run(inner, &unit, key, &summary, Provenance::Simulated);
+        }
+    }
+}
+
+/// Lands a completed cell, however it completed (own simulation or a fetch
+/// from the owning peer): publishes the summary and releases the in-flight
+/// claim (cache before in_flight — the one permitted nesting), persists
+/// outside the locks, then finishes the owning cell with `provenance` and
+/// every parked waiter as [`Provenance::Coalesced`].
+fn complete_run(
+    inner: &EngineInner,
+    unit: &WorkUnit,
+    key: u128,
+    summary: &Arc<RunSummary>,
+    provenance: Provenance,
+) {
+    let (waiters, appender) = {
+        let mut cache = lock(&inner.cache);
+        let mut in_flight = lock(&inner.in_flight);
+        cache.insert(key, Arc::clone(summary));
+        (in_flight.remove(&key).unwrap_or_default(), cache.appender())
+    };
+    // Persist outside the map/in-flight locks: a disk flush must
+    // not block concurrent claim steps. The key is already resident
+    // in memory, so no other worker can race this append.
+    if let Some(appender) = appender {
+        match appender.append(key, summary) {
+            Ok(bytes) => {
                 let mut cache = lock(&inner.cache);
-                let mut in_flight = lock(&inner.in_flight);
-                cache.insert(key, Arc::clone(&summary));
-                (in_flight.remove(&key).unwrap_or_default(), cache.appender())
-            };
-            // Persist outside the map/in-flight locks: a disk flush must
-            // not block concurrent claim steps. The key is already resident
-            // in memory, so no other worker can race this append.
-            if let Some(appender) = appender {
-                match appender.append(key, &summary) {
-                    Ok(bytes) => {
-                        let mut cache = lock(&inner.cache);
-                        cache.note_appended(bytes);
-                        maybe_compact(inner, &mut cache);
-                    }
-                    // The in-memory entry took effect; losing persistence
-                    // costs warm restarts, not correctness. (A torn append
-                    // was already rolled back in place by the appender.)
-                    Err(e) => eprintln!("malec-serve: cache append failed: {e}"),
+                cache.note_appended(bytes);
+                maybe_compact(inner, &mut cache);
+            }
+            // The in-memory entry took effect; losing persistence
+            // costs warm restarts, not correctness. (A torn append
+            // was already rolled back in place by the appender.)
+            Err(e) => eprintln!("malec-serve: cache append failed: {e}"),
+        }
+    }
+    finish_cell(inner, unit.job, unit.cell, Arc::clone(summary), provenance);
+    for (job, cell) in waiters {
+        finish_cell(inner, job, cell, Arc::clone(summary), Provenance::Coalesced);
+    }
+}
+
+/// Asks `owner` for the record of `key` over the retrying client. Every
+/// failure maps to [`FailureKind::Unavailable`]; the caller's recourse is
+/// local simulation, never failing the cell.
+fn fetch_from_owner(owner: &str, key: u128) -> Result<RunSummary, Failure> {
+    Client::new(owner)
+        .with_retry(RetryPolicy::retries(FETCH_RETRIES))
+        .fetch_record(key)
+        .map_err(|e| Failure::new(FailureKind::Unavailable, e))
+}
+
+/// How long a gather thread waits for a forwarded sub-job to finish.
+const GATHER_TIMEOUT: Duration = Duration::from_secs(600);
+/// Retries for the scatter/gather calls against an owning peer.
+const GATHER_RETRIES: u32 = 2;
+/// Retries for a per-cell record fetch from an owning peer.
+const FETCH_RETRIES: u32 = 2;
+
+/// Partitions a job's config groups into ownership clusters and keeps the
+/// remotely-owned ones: an explicit `[compare]` pair is **one** cluster
+/// (routed by the baseline's replicate-0 key, so paired joint growth stays
+/// on one owner); every other config is a singleton routed by its own
+/// replicate-0 key.
+fn remote_clusters(j: &Job, shard: &ShardMap) -> Vec<(String, Vec<usize>)> {
+    let mut clusters: Vec<Vec<usize>> = Vec::new();
+    let paired: HashSet<usize> = match j.pair {
+        Some((b, c, _)) => {
+            clusters.push(vec![b, c]);
+            [b, c].into_iter().collect()
+        }
+        None => HashSet::new(),
+    };
+    for idx in 0..j.spec.configs.len() {
+        if !paired.contains(&idx) {
+            clusters.push(vec![idx]);
+        }
+    }
+    clusters
+        .into_iter()
+        .filter_map(|cfgs| {
+            let route = cache_key(
+                &j.spec.configs[cfgs[0]],
+                &j.scenario,
+                j.spec.insts,
+                j.spec.seed,
+                0,
+            );
+            (!shard.is_owner(route)).then(|| (shard.owner(route).as_str().to_owned(), cfgs))
+        })
+        .collect()
+}
+
+/// Gather thread for one remote cluster: forward, wait, fetch, land. Any
+/// failure — owner down, sub-job failed, a record missing — falls back to
+/// enqueueing the cluster's pending cells locally, so topology never fails
+/// a job (the cells simulate here exactly as a standalone server would).
+fn gather_cluster(inner: &Arc<EngineInner>, job: JobId, owner: &str, cfgs: &[usize], source: &str) {
+    if let Err(detail) = gather_remote(inner, job, owner, cfgs, source) {
+        let failure = Failure::new(FailureKind::Unavailable, detail);
+        eprintln!(
+            "malec-serve: gather from owner {owner} for job {job} failed ({failure}); \
+             falling back to local simulation"
+        );
+        enqueue_cluster_locally(inner, job, cfgs);
+    }
+}
+
+/// The success path of [`gather_cluster`]: submits the cluster's configs
+/// to their owner as a `?configs=`-filtered sub-job, waits with the
+/// backoff client, fetches **every** per-replicate record before landing
+/// any (all-or-nothing: a partial gather falls back cleanly), then grows
+/// the local groups to the owner's converged counts and finishes each
+/// cell as [`Provenance::Fetched`].
+fn gather_remote(
+    inner: &Arc<EngineInner>,
+    job: JobId,
+    owner: &str,
+    cfgs: &[usize],
+    source: &str,
+) -> Result<(), String> {
+    let (labels, snapshot, scenario, insts, seed) = {
+        let jobs = lock(&inner.jobs);
+        let j = jobs
+            .get(&job)
+            .ok_or_else(|| "job expired before gather started".to_owned())?;
+        (
+            cfgs.iter()
+                .map(|&c| j.spec.configs[c].label())
+                .collect::<Vec<String>>(),
+            cfgs.iter()
+                .map(|&c| j.spec.configs[c].clone())
+                .collect::<Vec<SimConfig>>(),
+            Arc::clone(&j.scenario),
+            j.spec.insts,
+            j.spec.seed,
+        )
+    };
+    let client = Client::new(owner).with_retry(RetryPolicy::retries(GATHER_RETRIES));
+    let sub = client.submit_configs(source, &labels)?;
+    let view = client.wait(sub, GATHER_TIMEOUT)?;
+    if view.state != "done" {
+        return Err(format!(
+            "sub-job {sub} at {owner} ended {}{}",
+            view.state,
+            view.error.map(|e| format!(" ({e})")).unwrap_or_default()
+        ));
+    }
+    if view.cells == 0 || view.cells % cfgs.len() as u64 != 0 {
+        return Err(format!(
+            "sub-job {sub} at {owner} reported {} cells for {} configs",
+            view.cells,
+            cfgs.len()
+        ));
+    }
+    // The pair (and any singleton) grows every group in the cluster in
+    // lockstep, so per-group counts divide evenly.
+    let per_group = (view.cells / cfgs.len() as u64) as u32;
+    let saved_per_group = (view.replicates_saved / cfgs.len() as u64) as u32;
+    let mut fetched: Vec<(usize, u32, u128, Arc<RunSummary>)> = Vec::new();
+    for (ci, config) in cfgs.iter().zip(&snapshot) {
+        for r in 0..per_group {
+            let key = cache_key(config, &scenario, insts, seed, r);
+            let summary = client.fetch_record(key)?;
+            fetched.push((*ci, r, key, Arc::new(summary)));
+        }
+    }
+    // Persist into the local cache (lock taken alone): losing an append
+    // costs warm restarts, not correctness, so append errors only log.
+    {
+        let mut cache = lock(&inner.cache);
+        for (_, _, key, summary) in &fetched {
+            if !cache.contains(*key) {
+                cache.count_fetched();
+                if let Err(e) = cache.insert_persist(*key, Arc::clone(summary)) {
+                    eprintln!("malec-serve: cache append failed: {e}");
                 }
             }
-            finish_cell(
-                inner,
-                unit.job,
-                unit.cell,
-                Arc::clone(&summary),
-                Provenance::Simulated,
-            );
-            for (job, cell) in waiters {
-                finish_cell(
-                    inner,
-                    job,
-                    cell,
-                    Arc::clone(&summary),
-                    Provenance::Coalesced,
-                );
-            }
         }
+    }
+    let cells: Vec<(usize, Arc<RunSummary>)> = {
+        let mut jobs = lock(&inner.jobs);
+        let j = jobs
+            .get_mut(&job)
+            .ok_or_else(|| "job expired during gather".to_owned())?;
+        for &ci in cfgs {
+            if per_group < j.groups[ci].planned {
+                return Err(format!(
+                    "sub-job {sub} at {owner} returned {per_group} replicates for `{}`, \
+                     fewer than the {} already planned",
+                    j.spec.configs[ci].label(),
+                    j.groups[ci].planned
+                ));
+            }
+            // Grow the group to the owner's count and mark it converged
+            // BEFORE any cell finishes: the owner already ran the stopping
+            // rule, so extend_after_finish must be a no-op here.
+            for r in j.groups[ci].planned..per_group {
+                j.units.push((ci, r));
+                j.cells.push(CellState::Pending);
+            }
+            let g = &mut j.groups[ci];
+            g.planned = per_group;
+            g.converged = true;
+            g.saved = saved_per_group;
+        }
+        fetched
+            .iter()
+            .map(|(ci, r, _, summary)| {
+                j.units
+                    .iter()
+                    .position(|&(c, rr)| c == *ci && rr == *r)
+                    .map(|cell| (cell, Arc::clone(summary)))
+                    .ok_or_else(|| format!("no cell slot for config {ci} replicate {r}"))
+            })
+            .collect::<Result<_, _>>()?
+    };
+    for (cell, summary) in cells {
+        finish_cell(inner, job, cell, summary, Provenance::Fetched);
+    }
+    Ok(())
+}
+
+/// The fallback half of [`gather_cluster`]: enqueues every still-pending
+/// cell of the cluster's configs for local simulation.
+fn enqueue_cluster_locally(inner: &Arc<EngineInner>, job: JobId, cfgs: &[usize]) {
+    let units: Vec<WorkUnit> = {
+        let jobs = lock(&inner.jobs);
+        let Some(j) = jobs.get(&job) else {
+            return;
+        };
+        j.units
+            .iter()
+            .enumerate()
+            .filter(|&(cell, &(ci, _))| {
+                cfgs.contains(&ci) && matches!(j.cells[cell], CellState::Pending)
+            })
+            .map(|(cell, &(ci, replicate))| WorkUnit {
+                job,
+                cell,
+                config: j.spec.configs[ci].clone(),
+                scenario: Arc::clone(&j.scenario),
+                insts: j.spec.insts,
+                seed: j.spec.seed,
+                replicate,
+            })
+            .collect()
+    };
+    if !units.is_empty() {
+        let mut q = lock(&inner.queue);
+        q.extend(units);
+        drop(q);
+        inner.available.notify_all();
     }
 }
 

@@ -10,6 +10,7 @@
 //! | `/v1/cache/stats`         | GET    | result-cache counters                     |
 //! | `/v1/cache/compact`       | POST   | rewrite the cache log to its live records |
 //! | `/v1/cache/sync`          | GET    | stream the live record set (peer warm-up) |
+//! | `/v1/cache/record/<key>`  | GET    | one verified record (peer-miss fetch)     |
 //! | `/v1/healthz`             | GET    | liveness probe (+ pool health counters)   |
 //! | `/v1/shutdown`            | POST   | graceful drain + stop (`?mode=abort` to skip the drain) |
 //!
@@ -21,7 +22,10 @@
 //!
 //! The request lifecycle is bounded end to end: at most
 //! [`ServeOptions::max_connections`] handlers run at once (excess
-//! connections get `503` + `Retry-After` without being read), each request
+//! connections get `503` + `Retry-After` without being read — except a
+//! small reserved control lane, which still reads the request and serves
+//! it if it is a health check or a shutdown: saturation must never make
+//! the server unobservable or unstoppable), each request
 //! must arrive within [`ServeOptions::request_deadline`] **total** (the
 //! slow-loris bound), and writes carry [`ServeOptions::io_timeout`].
 //! Shutdown defaults to graceful: stop accepting, let in-flight jobs run
@@ -43,7 +47,7 @@ use crate::http::{
 };
 use crate::report::esc;
 use crate::scheduler::{CompareError, Engine, EngineOptions, JobStatus};
-use crate::spec::parse_spec;
+use crate::spec::{parse_spec, SweepSpec};
 
 /// The default address `malec-cli serve` binds and its clients target.
 pub const DEFAULT_ADDR: &str = "127.0.0.1:4173";
@@ -197,6 +201,7 @@ impl Server {
     pub fn run(self) -> io::Result<()> {
         let addr = self.local_addr()?;
         let active = Arc::new(AtomicUsize::new(0));
+        let control_active = Arc::new(AtomicUsize::new(0));
         loop {
             if self.stop.load(Ordering::SeqCst) {
                 break;
@@ -220,20 +225,34 @@ impl Server {
             // the connection with a retryable 503 *without reading it* — a
             // saturated server must spend no parsing work on load it is
             // refusing. The response goes out on its own thread so a slow
-            // receiver cannot block the accept loop either.
+            // receiver cannot block the accept loop either. A few reserved
+            // control slots do read the request, but answer it only for
+            // `/v1/healthz` and `/v1/shutdown`: liveness probes and the
+            // stop switch must keep working under full load.
             let slot = SlotGuard::claim(&active, self.opts.max_connections);
             let Some(slot) = slot else {
-                std::thread::spawn(move || {
-                    let mut stream = stream;
-                    write_response_with(
-                        &mut stream,
-                        503,
-                        "application/json",
-                        &[("Retry-After", "1")],
-                        b"{\n  \"error\": \"server saturated, retry shortly\"\n}\n",
-                    )
-                    .ok();
-                });
+                match SlotGuard::claim(&control_active, CONTROL_SLOTS) {
+                    Some(slot) => {
+                        let engine = Arc::clone(&self.engine);
+                        let stop = Arc::clone(&self.stop);
+                        let abort = Arc::clone(&self.abort);
+                        let deadline = self.opts.request_deadline;
+                        std::thread::spawn(move || {
+                            let _slot = slot;
+                            let mut stream = stream;
+                            handle_saturated(&mut stream, &engine, &stop, &abort, addr, deadline);
+                        });
+                    }
+                    None => {
+                        std::thread::spawn(move || {
+                            let mut stream = stream;
+                            shed(&mut stream);
+                        });
+                    }
+                }
+                if self.stop.load(Ordering::SeqCst) {
+                    break;
+                }
                 continue;
             };
             // Every admitted connection gets a handler — even ones racing a
@@ -312,6 +331,12 @@ impl ServerHandle {
     }
 }
 
+/// Reserved handler slots for control requests (`/v1/healthz`,
+/// `/v1/shutdown`) once the [`ServeOptions::max_connections`] data slots
+/// are saturated. Small and fixed: the control lane exists to keep the
+/// server observable and stoppable, not to serve traffic.
+const CONTROL_SLOTS: usize = 4;
+
 /// One claimed handler slot; dropping it frees the slot.
 struct SlotGuard(Arc<AtomicUsize>);
 
@@ -368,7 +393,20 @@ fn handle_connection(
         );
         return;
     }
-    if let Some(mode) = route(stream, engine, &request) {
+    dispatch(stream, engine, stop, abort, self_addr, &request);
+}
+
+/// Routes one parsed request and runs the shutdown protocol if it asked
+/// for one — shared by the normal handler and the saturated control lane.
+fn dispatch(
+    stream: &mut TcpStream,
+    engine: &Engine,
+    stop: &AtomicBool,
+    abort: &AtomicBool,
+    self_addr: SocketAddr,
+    request: &Request,
+) {
+    if let Some(mode) = route(stream, engine, request) {
         if mode == ShutdownMode::Abort {
             abort.store(true, Ordering::SeqCst);
         }
@@ -387,6 +425,44 @@ fn handle_connection(
         }
         TcpStream::connect(wake).ok();
     }
+}
+
+/// The saturated-server control lane: reads the request (bounded by the
+/// same deadline as a normal handler) and serves it only if it is a
+/// control route; everything else is shed exactly like a slot-less
+/// connection. No failpoints here — they live in [`handle_connection`],
+/// and the control lane must stay dependable precisely when the rest of
+/// the server is being tortured.
+fn handle_saturated(
+    stream: &mut TcpStream,
+    engine: &Engine,
+    stop: &AtomicBool,
+    abort: &AtomicBool,
+    self_addr: SocketAddr,
+    deadline: Duration,
+) {
+    let Ok(request) = read_request_deadline(stream, deadline) else {
+        shed(stream);
+        return;
+    };
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/v1/healthz") | ("POST", "/v1/shutdown") => {
+            dispatch(stream, engine, stop, abort, self_addr, &request);
+        }
+        _ => shed(stream),
+    }
+}
+
+/// The shed response: a retryable `503` with `Retry-After: 1`.
+fn shed(stream: &mut TcpStream) {
+    write_response_with(
+        stream,
+        503,
+        "application/json",
+        &[("Retry-After", "1")],
+        b"{\n  \"error\": \"server saturated, retry shortly\"\n}\n",
+    )
+    .ok();
 }
 
 /// Dispatches one request; returns the shutdown mode for a shutdown
@@ -415,9 +491,18 @@ fn route(stream: &mut TcpStream, engine: &Engine, request: &Request) -> Option<S
             Err(e) => respond_error(stream, 500, &e.to_string()),
         },
         ("GET", "/v1/cache/sync") => handle_cache_sync(stream, engine),
+        ("GET", _) if path.starts_with("/v1/cache/record/") => {
+            handle_cache_record(stream, engine, path);
+        }
         ("GET", "/v1/healthz") => {
+            let peers = engine
+                .shard_peers()
+                .iter()
+                .map(|p| format!("\"{}\"", esc(p)))
+                .collect::<Vec<String>>()
+                .join(", ");
             let body = format!(
-                "{{\n  \"ok\": true,\n  \"workers\": {},\n  \"respawns\": {},\n  \"faults_fired\": {}\n}}\n",
+                "{{\n  \"ok\": true,\n  \"workers\": {},\n  \"respawns\": {},\n  \"faults_fired\": {},\n  \"peers\": [{peers}]\n}}\n",
                 engine.workers(),
                 engine.respawns(),
                 engine.faults().fired_total(),
@@ -467,11 +552,24 @@ fn handle_submit(stream: &mut TcpStream, engine: &Engine, request: &Request) {
         }
     };
     match parse_spec(text) {
-        Ok(spec) => {
+        Ok(mut spec) => {
+            // A scatter sub-job (`?configs=A,B`) restricts the spec to the
+            // named groups and carries no source text, so a forwarded
+            // sub-job runs owner-local and the scatter cannot recurse.
+            let source = match request.query_param("configs") {
+                Some(list) => {
+                    if let Err(e) = restrict_configs(&mut spec, list) {
+                        respond_error(stream, 400, &e);
+                        return;
+                    }
+                    None
+                }
+                None => Some(Arc::from(text)),
+            };
             // Cells initially enqueued: configs x launch replicates (a CI
             // target may grow this later, so it is a floor, not a total).
             let cells = spec.configs.len() * spec.replication.initial_count() as usize;
-            let job = engine.submit(spec);
+            let job = engine.submit_with_source(spec, source);
             let body = format!(
                 "{{\n  \"job\": {job},\n  \"cells\": {cells},\n  \"status_url\": \"/v1/jobs/{job}\"\n}}\n"
             );
@@ -481,23 +579,86 @@ fn handle_submit(stream: &mut TcpStream, engine: &Engine, request: &Request) {
     }
 }
 
-/// Streams the live record set in cache-log format. The body is written in
-/// two halves with the `cache.sync.stall` failpoint between them, so tests
-/// can deterministically cut or delay a sync mid-stream — the receiver's
-/// record-by-record verification keeps the delivered prefix either way.
+/// Restricts a parsed spec to the named config labels — the scatter
+/// sub-job form of `POST /v1/jobs`. Every label must name a config in the
+/// spec; the `[compare]` pairing survives only if both of its members do
+/// (a filtered-out half would otherwise resurrect as a default).
+fn restrict_configs(spec: &mut SweepSpec, list: &str) -> Result<(), String> {
+    let want: Vec<&str> = list.split(',').filter(|s| !s.is_empty()).collect();
+    if want.is_empty() {
+        return Err("?configs= names no configs".to_owned());
+    }
+    for label in &want {
+        if !spec.configs.iter().any(|c| c.label() == *label) {
+            return Err(format!(
+                "?configs= names `{label}`, which is not in the spec"
+            ));
+        }
+    }
+    let keep_pair = spec.compare.as_ref().is_some_and(|c| {
+        want.contains(&c.baseline.label().as_str()) && want.contains(&c.candidate.label().as_str())
+    });
+    if !keep_pair {
+        spec.compare = None;
+    }
+    spec.configs.retain(|c| want.contains(&c.label().as_str()));
+    Ok(())
+}
+
+/// Records per write of the sync stream — bounds the encode buffer however
+/// large the live set is.
+const SYNC_CHUNK_RECORDS: usize = 64;
+
+/// Streams the live record set in cache-log format, encoding bounded
+/// chunks from a snapshot of shared summaries instead of materializing the
+/// whole log as one buffer. Stream errors are logged, not swallowed.
 fn handle_cache_sync(stream: &mut TcpStream, engine: &Engine) {
-    let snapshot = engine.sync_snapshot();
-    if write_response_head(stream, 200, "application/octet-stream", snapshot.len()).is_err() {
-        return;
+    if let Err(e) = stream_cache_sync(stream, engine) {
+        eprintln!("malec-serve: cache sync stream failed: {e}");
     }
-    let half = snapshot.len() / 2;
-    if stream.write_all(&snapshot[..half]).is_err() {
-        return;
+}
+
+/// The fallible body of [`handle_cache_sync`]. The `cache.sync.stall`
+/// failpoint sits between the header and each chunk, so tests can
+/// deterministically cut or delay a sync mid-stream — the receiver's
+/// record-by-record verification keeps the delivered prefix either way.
+fn stream_cache_sync(stream: &mut TcpStream, engine: &Engine) -> io::Result<()> {
+    let (records, body_len) = engine.sync_records();
+    write_response_head(stream, 200, "application/octet-stream", body_len as usize)?;
+    stream.write_all(&crate::cache::log_header())?;
+    stream.flush()?;
+    let mut buf = Vec::new();
+    for chunk in records.chunks(SYNC_CHUNK_RECORDS) {
+        engine.faults().check_delay("cache.sync.stall");
+        buf.clear();
+        for (key, summary) in chunk {
+            buf.extend_from_slice(&crate::cache::encode_record(*key, summary));
+        }
+        stream.write_all(&buf)?;
+        stream.flush()?;
     }
-    stream.flush().ok();
-    engine.faults().check_delay("cache.sync.stall");
-    stream.write_all(&snapshot[half..]).ok();
-    stream.flush().ok();
+    Ok(())
+}
+
+/// Serves one cached record in single-record cache-log format — the
+/// peer-miss fetch path of sharded serving. A 404 is an answer, not an
+/// error: the asking peer falls back to simulating locally.
+fn handle_cache_record(stream: &mut TcpStream, engine: &Engine, path: &str) {
+    let hex = &path["/v1/cache/record/".len()..];
+    let Ok(key) = u128::from_str_radix(hex, 16) else {
+        respond_error(
+            stream,
+            400,
+            &format!("bad record key `{hex}` (want hex digits)"),
+        );
+        return;
+    };
+    match engine.cache_record(key) {
+        Some(body) => {
+            write_response(stream, 200, "application/octet-stream", &body).ok();
+        }
+        None => respond_error(stream, 404, &format!("no record for key {key:032x}")),
+    }
 }
 
 /// What a `/v1/jobs/<id>...` GET asks for.
@@ -547,7 +708,7 @@ fn handle_job_get(stream: &mut TcpStream, engine: &Engine, path: &str) {
 /// Renders a [`JobStatus`] as the status-endpoint JSON.
 pub fn job_status_json(s: &JobStatus) -> String {
     format!(
-        "{{\n  \"job\": {},\n  \"scenario\": \"{}\",\n  \"state\": \"{}\",\n  \"cells\": {},\n  \"simulated\": {},\n  \"cached\": {},\n  \"coalesced\": {},\n  \"failed\": {},\n  \"pending\": {},\n  \"replicates_saved\": {},\n  \"wall_seconds\": {},\n  \"error\": {}\n}}\n",
+        "{{\n  \"job\": {},\n  \"scenario\": \"{}\",\n  \"state\": \"{}\",\n  \"cells\": {},\n  \"simulated\": {},\n  \"cached\": {},\n  \"coalesced\": {},\n  \"fetched\": {},\n  \"failed\": {},\n  \"pending\": {},\n  \"replicates_saved\": {},\n  \"wall_seconds\": {},\n  \"error\": {}\n}}\n",
         s.id,
         esc(&s.scenario),
         s.state,
@@ -555,6 +716,7 @@ pub fn job_status_json(s: &JobStatus) -> String {
         s.simulated,
         s.cached,
         s.coalesced,
+        s.fetched,
         s.failed,
         s.pending,
         s.replicates_saved,
@@ -569,12 +731,13 @@ pub fn job_status_json(s: &JobStatus) -> String {
 /// Renders the cache-stats endpoint JSON.
 fn cache_stats_json(stats: &CacheStats, engine: &Engine) -> String {
     format!(
-        "{{\n  \"entries\": {},\n  \"loaded_from_disk\": {},\n  \"hits\": {},\n  \"misses\": {},\n  \"coalesced\": {},\n  \"bytes_appended\": {},\n  \"log_bytes\": {},\n  \"live_bytes\": {},\n  \"evicted\": {},\n  \"compactions\": {},\n  \"persisted\": {},\n  \"workers\": {}\n}}\n",
+        "{{\n  \"entries\": {},\n  \"loaded_from_disk\": {},\n  \"hits\": {},\n  \"misses\": {},\n  \"coalesced\": {},\n  \"fetched\": {},\n  \"bytes_appended\": {},\n  \"log_bytes\": {},\n  \"live_bytes\": {},\n  \"evicted\": {},\n  \"compactions\": {},\n  \"persisted\": {},\n  \"workers\": {}\n}}\n",
         stats.entries,
         stats.loaded,
         stats.hits,
         stats.misses,
         stats.coalesced,
+        stats.fetched,
         stats.bytes_appended,
         stats.log_bytes,
         stats.live_bytes,
@@ -688,6 +851,7 @@ mod tests {
             simulated: 0,
             cached: 0,
             coalesced: 0,
+            fetched: 0,
             failed: 1,
             pending: 0,
             replicates_saved: 0,
@@ -757,7 +921,7 @@ mod tests {
     }
 
     #[test]
-    fn saturated_server_sheds_load_with_retryable_503() {
+    fn saturated_server_sheds_data_routes_but_answers_healthz_and_shutdown() {
         use crate::http::request_meta;
         use std::io::Write;
 
@@ -775,46 +939,37 @@ mod tests {
         .expect("spawn");
         let addr = server.addr();
 
-        // Occupy the single slot with a connection that never finishes its
-        // request (it will be cut off at the request deadline).
+        // Occupy the single data slot with a connection that never
+        // finishes its request (cut off at the request deadline).
         let mut hog = std::net::TcpStream::connect(addr).expect("connect");
         hog.write_all(b"GET /v1/healthz HT").expect("partial write");
         std::thread::sleep(Duration::from_millis(100));
 
-        let resp = request_meta(addr, "GET", "/v1/healthz", b"", Duration::from_secs(5))
-            .expect("shed response");
+        // A data route is shed with a retryable 503...
+        let resp = request_meta(
+            addr,
+            "POST",
+            "/v1/jobs",
+            SPEC.as_bytes(),
+            Duration::from_secs(5),
+        )
+        .expect("shed response");
         assert_eq!(resp.status, 503, "{}", resp.body);
         assert_eq!(resp.retry_after, Some(1), "503 carries Retry-After");
         assert!(resp.body.contains("saturated"), "{}", resp.body);
 
-        // Freeing the slot restores service. The previous handler releases
-        // its slot a moment after the client sees the response, so a 503 on
-        // the very next request is the shed contract working as documented
-        // (Retry-After: 1) — retry until the slot is actually free.
-        drop(hog);
-        let mut status = 0;
-        for _ in 0..100 {
-            std::thread::sleep(Duration::from_millis(20));
-            status = get_json(addr, "/v1/healthz").0;
-            if status != 503 {
-                break;
-            }
-        }
-        assert_eq!(status, 200, "slot freed after the hog disconnected");
+        // ...but a health check still answers through the control lane —
+        // saturation must not make the server look dead.
+        let (status, v) = get_json(addr, "/v1/healthz");
+        assert_eq!(status, 200, "healthz answers while saturated");
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
 
-        // Same race on the shutdown request itself: if it is shed, stop is
-        // never set and join() would wait on the accept loop forever.
-        let mut status = 0;
-        for _ in 0..100 {
-            status = request(addr, "POST", "/v1/shutdown?mode=abort", b"")
-                .expect("shutdown")
-                .0;
-            if status != 503 {
-                break;
-            }
-            std::thread::sleep(Duration::from_millis(20));
-        }
-        assert_eq!(status, 200, "shutdown accepted once the slot freed");
+        // ...and so does the stop switch: a shutdown is never locked out by
+        // the very load it is supposed to relieve.
+        let (status, body) =
+            request(addr, "POST", "/v1/shutdown?mode=abort", b"").expect("shutdown");
+        assert_eq!(status, 200, "shutdown accepted while saturated: {body}");
+        drop(hog);
         server.join().expect("clean exit");
     }
 

@@ -12,7 +12,8 @@
 //!   L1 interface ([`MemOp`], [`MemOpKind`]);
 //! * [`config`] — the analyzed configurations from Table I of the paper
 //!   ([`InterfaceKind`], [`SimConfig`]) plus the latency variants of Fig. 4;
-//! * [`params`] — the Table II simulation parameters as named constants.
+//! * [`params`] — the Table II simulation parameters as named constants;
+//! * [`peer`] — peer identity for distributed serving ([`PeerId`]).
 //!
 //! # Example
 //!
@@ -32,6 +33,7 @@
 //! [`MemOpKind`]: op::MemOpKind
 //! [`InterfaceKind`]: config::InterfaceKind
 //! [`SimConfig`]: config::SimConfig
+//! [`PeerId`]: peer::PeerId
 
 pub mod addr;
 pub mod config;
@@ -39,6 +41,7 @@ pub mod error;
 pub mod geometry;
 pub mod op;
 pub mod params;
+pub mod peer;
 pub mod stable;
 
 pub use addr::{BankId, LineAddr, PAddr, PPageId, SetIndex, SubBlockId, VAddr, VPageId, WayId};
@@ -46,4 +49,5 @@ pub use config::{InterfaceKind, LatencyVariant, PortConfig, SimConfig, WayDeterm
 pub use error::ConfigError;
 pub use geometry::{CacheGeometry, PageGeometry};
 pub use op::{MemOp, MemOpKind, OpId};
+pub use peer::PeerId;
 pub use stable::{stable_key, StableHasher, StableKey};

@@ -1,0 +1,83 @@
+//! Peer identity for distributed serving.
+//!
+//! A serving peer is identified by the `host:port` address it listens on —
+//! the same string every peer of a cluster lists in `--peers`. The newtype
+//! pins down the total order that ownership tie-breaking relies on (plain
+//! byte-wise string ordering, identical on every platform) and keeps peer
+//! addresses from mixing with arbitrary strings in signatures.
+//!
+//! # Example
+//!
+//! ```
+//! use malec_types::peer::PeerId;
+//!
+//! let a = PeerId::new("127.0.0.1:4173");
+//! let b = PeerId::new("127.0.0.1:4174");
+//! assert_eq!(a.as_str(), "127.0.0.1:4173");
+//! assert!(a < b, "peers order by their address bytes");
+//! ```
+
+use std::fmt;
+
+/// One serving peer's address (`host:port`) — the identity rendezvous
+/// hashing scores cache keys against.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PeerId(String);
+
+impl PeerId {
+    /// Wraps an address string.
+    pub fn new(addr: impl Into<String>) -> Self {
+        Self(addr.into())
+    }
+
+    /// The `host:port` string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<String> for PeerId {
+    fn from(addr: String) -> Self {
+        Self(addr)
+    }
+}
+
+impl From<&str> for PeerId {
+    fn from(addr: &str) -> Self {
+        Self(addr.to_owned())
+    }
+}
+
+impl fmt::Display for PeerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_bytewise_and_stable() {
+        let mut peers = [
+            PeerId::new("10.0.0.2:4173"),
+            PeerId::new("10.0.0.10:4173"),
+            PeerId::new("10.0.0.1:4173"),
+        ];
+        peers.sort();
+        // Byte-wise, not numeric: "10.0.0.10:" < "10.0.0.1:" (the digit
+        // '0' sorts before ':'), and both sort before "10.0.0.2:".
+        assert_eq!(
+            peers.iter().map(PeerId::as_str).collect::<Vec<_>>(),
+            vec!["10.0.0.10:4173", "10.0.0.1:4173", "10.0.0.2:4173"],
+        );
+    }
+
+    #[test]
+    fn display_and_conversions_round_trip() {
+        let p: PeerId = "127.0.0.1:4173".into();
+        assert_eq!(p.to_string(), "127.0.0.1:4173");
+        assert_eq!(PeerId::from("127.0.0.1:4173".to_owned()), p);
+    }
+}

@@ -1,0 +1,311 @@
+//! Sharded-serving acceptance tests:
+//!
+//! * **Shard-map properties** (proptest) — every peer derives the same
+//!   owner for the same key whatever its vantage point or flag order;
+//!   keys spread over the peer set within loose balance bounds; and
+//!   removing one peer reassigns only the keys that peer owned (the
+//!   minimal-movement property of rendezvous hashing);
+//! * **Two-peer scatter/gather** — a replication + compare sweep submitted
+//!   to either peer of a two-peer cluster produces a report and compare
+//!   digest **bit-identical** to a standalone server's, with every cell
+//!   simulated exactly once cluster-wide (the sum of per-peer cache
+//!   misses equals the cell count);
+//! * **Owner loss** — killing the peer that owns the compared pair while
+//!   the job is in flight degrades to local simulation on the surviving
+//!   peer: the job still completes, bit-identical to standalone.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use malec_serve::client::Client;
+use malec_serve::json::{parse, Value};
+use malec_serve::server::{ServeOptions, Server, ServerHandle};
+use malec_serve::{cache_key, parse_spec, ShardMap};
+use proptest::prelude::*;
+
+/// Three config groups, four shared replicate seeds, an explicit compared
+/// pair: two ownership clusters (the pair routes as one, `Base2ld1st` as a
+/// singleton), twelve cells.
+const SHARD_SPEC: &str = "[scenario]\nmode = \"preset\"\npreset = \"store_burst\"\n\
+     [sweep]\nconfigs = [\"Base1ldst\", \"Base2ld1st\", \"MALEC\"]\ninsts = 2000\nseed = 5\nseeds = 4\n\
+     [compare]\nbaseline = \"Base1ldst\"\ncandidate = \"MALEC\"\n";
+
+fn serve(opts: ServeOptions) -> ServerHandle {
+    Server::bind_with("127.0.0.1:0", opts)
+        .expect("bind")
+        .spawn()
+        .expect("spawn")
+}
+
+/// The per-cell content of a report — everything except timing.
+fn report_cells(report: &str) -> String {
+    let v = parse(report).expect("report is valid JSON");
+    format!("{:?}", v.get("cells").expect("cells array"))
+}
+
+/// The content digest of a compare report (excludes paths and timing).
+fn compare_digest_of(report: &str) -> String {
+    let v = parse(report).expect("compare report is valid JSON");
+    v.get("digest")
+        .and_then(Value::as_str)
+        .expect("digest field")
+        .to_owned()
+}
+
+/// Runs `SHARD_SPEC` on a standalone server: the ground truth every
+/// cluster run must match bit for bit.
+fn standalone_reference() -> (String, String) {
+    let server = serve(ServeOptions {
+        workers: Some(2),
+        ..ServeOptions::default()
+    });
+    let client = Client::new(server.addr().to_string());
+    let job = client.submit(SHARD_SPEC).expect("submit");
+    let view = client.wait(job, Duration::from_secs(120)).expect("wait");
+    assert_eq!(view.state, "done");
+    assert_eq!(view.cells, 12, "3 configs x 4 replicate seeds");
+    let cells = report_cells(&client.report(job).expect("report"));
+    let digest = compare_digest_of(&client.compare(job).expect("compare"));
+    client.shutdown().expect("shutdown");
+    server.join().expect("clean exit");
+    (cells, digest)
+}
+
+/// Binds two servers on ephemeral ports and installs the same two-address
+/// shard map in both (addresses are only known after binding, so this is
+/// the programmatic equivalent of `serve --peers A,B` on each).
+fn two_peer_cluster() -> (ServerHandle, ServerHandle, String, String) {
+    let a = Server::bind_with("127.0.0.1:0", two_worker_opts()).expect("bind a");
+    let b = Server::bind_with("127.0.0.1:0", two_worker_opts()).expect("bind b");
+    let addr_a = a.local_addr().expect("addr a").to_string();
+    let addr_b = b.local_addr().expect("addr b").to_string();
+    let peers = [addr_a.clone(), addr_b.clone()];
+    a.engine()
+        .set_shard(ShardMap::new(peers.clone(), &addr_a).expect("map a"));
+    b.engine()
+        .set_shard(ShardMap::new(peers, &addr_b).expect("map b"));
+    (
+        a.spawn().expect("spawn a"),
+        b.spawn().expect("spawn b"),
+        addr_a,
+        addr_b,
+    )
+}
+
+fn two_worker_opts() -> ServeOptions {
+    ServeOptions {
+        workers: Some(2),
+        ..ServeOptions::default()
+    }
+}
+
+#[test]
+fn two_peer_cluster_matches_standalone_and_simulates_each_cell_once() {
+    let (want_cells, want_digest) = standalone_reference();
+    let (ha, hb, addr_a, addr_b) = two_peer_cluster();
+    let ca = Client::new(addr_a.clone());
+    let cb = Client::new(addr_b.clone());
+
+    // Both peers advertise the same sorted peer set.
+    let mut expect = vec![addr_a.clone(), addr_b.clone()];
+    expect.sort();
+    assert_eq!(ca.peers().expect("peers of a"), expect);
+    assert_eq!(cb.peers().expect("peers of b"), expect);
+
+    // Submit through peer A: the front door scatters remotely-owned
+    // clusters and gathers their cells back.
+    let job = ca.submit(SHARD_SPEC).expect("submit via a");
+    let view = ca.wait(job, Duration::from_secs(120)).expect("wait");
+    assert_eq!(view.state, "done", "{:?}", view.error);
+    assert_eq!(view.cells, 12);
+    assert_eq!(view.failed, 0);
+
+    let got_cells = report_cells(&ca.report(job).expect("report"));
+    assert_eq!(
+        got_cells, want_cells,
+        "gathered report must be bit-identical"
+    );
+    let got_digest = compare_digest_of(&ca.compare(job).expect("compare"));
+    assert_eq!(
+        got_digest, want_digest,
+        "compare digest must be bit-identical"
+    );
+
+    // Exactly-once simulation cluster-wide: a miss is counted where a
+    // simulation starts, so the per-peer miss counts must sum to the cell
+    // count — whatever the (deterministic) ownership split was.
+    let sa = ca.cache_stats().expect("stats a");
+    let sb = cb.cache_stats().expect("stats b");
+    assert_eq!(
+        sa.misses + sb.misses,
+        12,
+        "each cell simulated exactly once cluster-wide (a: {}, b: {})",
+        sa.misses,
+        sb.misses
+    );
+
+    // Submitting the identical spec through the *other* peer answers
+    // entirely from the cluster's caches: zero new simulations anywhere.
+    let again = cb.submit(SHARD_SPEC).expect("submit via b");
+    let view = cb
+        .wait(again, Duration::from_secs(120))
+        .expect("wait again");
+    assert_eq!(view.state, "done", "{:?}", view.error);
+    assert_eq!(
+        view.simulated, 0,
+        "resubmission simulates nothing: {view:?}"
+    );
+    assert_eq!(
+        report_cells(&cb.report(again).expect("report via b")),
+        want_cells,
+        "either front door serves the same bytes"
+    );
+    let sa = ca.cache_stats().expect("stats a");
+    let sb = cb.cache_stats().expect("stats b");
+    assert_eq!(sa.misses + sb.misses, 12, "still no duplicate simulations");
+
+    ca.shutdown().expect("shutdown a");
+    cb.shutdown().expect("shutdown b");
+    ha.join().expect("clean exit a");
+    hb.join().expect("clean exit b");
+}
+
+#[test]
+fn killing_the_pair_owner_mid_job_falls_back_to_local_simulation() {
+    let (want_cells, _) = standalone_reference();
+    let (ha, hb, addr_a, addr_b) = two_peer_cluster();
+
+    // Work out which peer owns the compared pair's cluster (it routes by
+    // the baseline's replicate-0 key) and submit to the *other* one, so
+    // the scatter path genuinely crosses the wire before we cut it.
+    let spec = parse_spec(SHARD_SPEC).expect("spec");
+    let resolved = spec.resolve_compare().expect("resolved pair");
+    let route = cache_key(
+        &spec.configs[resolved.baseline],
+        &spec.scenario,
+        spec.insts,
+        spec.seed,
+        0,
+    );
+    let map = ShardMap::new([addr_a.clone(), addr_b.clone()], &addr_a).expect("map");
+    let owner = map.owner(route).as_str().to_owned();
+    let (door, owner_handle, door_handle) = if owner == addr_a {
+        (addr_b.clone(), ha, hb)
+    } else {
+        (addr_a.clone(), hb, ha)
+    };
+
+    let client = Client::new(door.clone());
+    let job = client.submit(SHARD_SPEC).expect("submit via non-owner");
+    // Give the scatter a moment to reach the owner, then kill it. Every
+    // window is safe: whether the forward, the wait, or the record fetch
+    // dies, the gather thread falls back to simulating locally.
+    std::thread::sleep(Duration::from_millis(25));
+    malec_serve::http::request(owner.as_str(), "POST", "/v1/shutdown?mode=abort", b"")
+        .expect("abort the owner");
+    owner_handle.join().expect("owner exits");
+
+    let view = client.wait(job, Duration::from_secs(120)).expect("wait");
+    assert_eq!(
+        view.state, "done",
+        "owner loss must not fail the job: {:?}",
+        view.error
+    );
+    assert_eq!(view.failed, 0);
+    assert_eq!(
+        report_cells(&client.report(job).expect("report")),
+        want_cells,
+        "degraded run is still bit-identical to standalone"
+    );
+
+    client.shutdown().expect("shutdown survivor");
+    door_handle.join().expect("clean exit");
+}
+
+/// Deterministic 64-bit mixer (splitmix64) for spreading proptest seeds
+/// into well-distributed synthetic cache keys.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn synthetic_key(seed: u64, i: u64) -> u128 {
+    (u128::from(mix(seed ^ i)) << 64) | u128::from(mix(i.wrapping_add(seed)))
+}
+
+fn peer_set(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("10.0.0.{i}:4173")).collect()
+}
+
+proptest! {
+    /// Same key + same peer set => same owner, from every peer's vantage
+    /// point — the property that makes sharding coordination-free.
+    #[test]
+    fn every_vantage_point_agrees_on_the_owner(seed in 0u64..1_000_000_000, n in 2usize..6) {
+        let peers = peer_set(n);
+        for i in 0..32 {
+            let key = synthetic_key(seed, i);
+            let owners: Vec<String> = peers
+                .iter()
+                .map(|p| {
+                    ShardMap::new(peers.clone(), p)
+                        .expect("valid set")
+                        .owner(key)
+                        .as_str()
+                        .to_owned()
+                })
+                .collect();
+            prop_assert!(
+                owners.windows(2).all(|w| w[0] == w[1]),
+                "key {key:032x} got owners {owners:?}"
+            );
+        }
+    }
+
+    /// Ownership spreads over the peer set: over 512 well-mixed keys and 4
+    /// peers, every peer owns a sane share (expected 128; the bounds are
+    /// ~6 sigma, so a systematic skew fails and statistical noise never
+    /// does).
+    #[test]
+    fn keys_balance_over_the_peer_set(seed in 0u64..1_000_000_000) {
+        let peers = peer_set(4);
+        let map = ShardMap::new(peers.clone(), &peers[0]).expect("valid set");
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for i in 0..512 {
+            *counts
+                .entry(map.owner(synthetic_key(seed, i)).as_str().to_owned())
+                .or_insert(0) += 1;
+        }
+        for p in &peers {
+            let share = counts.get(p).copied().unwrap_or(0);
+            prop_assert!(
+                (64..=256).contains(&share),
+                "peer {p} owns {share}/512 keys: {counts:?}"
+            );
+        }
+    }
+
+    /// Minimal movement: removing one peer reassigns only the keys that
+    /// peer owned — every other key keeps its owner. (Read in reverse,
+    /// adding a peer steals keys only for itself.)
+    #[test]
+    fn removing_a_peer_moves_only_its_own_keys(seed in 0u64..1_000_000_000, n in 3usize..6) {
+        let peers = peer_set(n);
+        let full = ShardMap::new(peers.clone(), &peers[0]).expect("full set");
+        let shrunk = ShardMap::new(peers[..n - 1].to_vec(), &peers[0]).expect("shrunk set");
+        let removed = &peers[n - 1];
+        for i in 0..256 {
+            let key = synthetic_key(seed, i);
+            let before = full.owner(key).as_str();
+            if before != removed {
+                prop_assert_eq!(
+                    before,
+                    shrunk.owner(key).as_str(),
+                    "key {:032x} moved although its owner survived", key
+                );
+            }
+        }
+    }
+}
